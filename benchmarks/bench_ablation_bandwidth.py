@@ -1,0 +1,55 @@
+"""Ablation: the memory-bandwidth term.
+
+BFS's and Axpy's scaling plateaus come from the machine model's
+bandwidth contention, not from scheduling: on a hypothetical machine
+with unlimited memory bandwidth the same schedulers scale almost
+linearly.  This isolates the term responsible for "scales well up to 8
+cores".
+"""
+
+from dataclasses import replace
+
+from conftest import THREADS, run_once
+
+from repro.core.experiment import run_experiment
+from repro.core.metrics import speedup
+from repro.core.report import figure_table
+
+
+def bench_ablation_bandwidth(benchmark, ctx, save):
+    infinite_bw = replace(
+        ctx.machine,
+        socket_bandwidth=1e18,
+        core_bandwidth=1e18,
+        name="infinite-bandwidth",
+    )
+
+    def measure():
+        real = run_experiment(
+            "bfs", versions=("omp_for",), threads=THREADS, ctx=ctx, n_nodes=2_000_000
+        )
+        nolimit = run_experiment(
+            "bfs",
+            versions=("omp_for",),
+            threads=THREADS,
+            ctx=ctx.with_machine(infinite_bw),
+            n_nodes=2_000_000,
+        )
+        return real, nolimit
+
+    real, nolimit = run_once(benchmark, measure)
+    sp_real = speedup(real, "omp_for")
+    sp_free = speedup(nolimit, "omp_for")
+    save(
+        "ablation_bandwidth",
+        "BFS omp_for scaling, real vs infinite memory bandwidth\n"
+        + figure_table(real, title="real machine")
+        + "\n"
+        + figure_table(nolimit, title="infinite bandwidth")
+        + "\nspeedup at p=36: real "
+        f"{sp_real[-1]:.1f}x vs unlimited {sp_free[-1]:.1f}x",
+    )
+
+    # the plateau disappears without the bandwidth term
+    assert sp_free[-1] > 1.8 * sp_real[-1]
+    assert sp_free[-1] >= 25

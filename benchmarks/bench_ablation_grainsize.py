@@ -1,0 +1,49 @@
+"""Ablation: cilk_for grainsize.
+
+The cilk_for data-parallel penalty comes from distributing many small
+subranges through steals (placement scatter + per-chunk overhead).
+Forcing a coarse grainsize (one chunk per worker, `#pragma cilk
+grainsize`) removes most of it; forcing a very fine one makes it worse.
+"""
+
+from conftest import run_once
+
+from repro.kernels import axpy
+from repro.runtime.workstealing import default_grainsize, run_stealing_loop
+from repro.runtime.worksharing import run_worksharing_loop
+
+N = 4_000_000
+P = 8
+
+
+def bench_ablation_grainsize(benchmark, ctx, save):
+    space = axpy.space(ctx.machine, N)
+
+    def measure():
+        baseline = run_worksharing_loop(space, P, ctx).time
+        out = {"omp_for static (baseline)": baseline}
+        auto = default_grainsize(N, P)
+        for label, g in (
+            ("fine (256)", 256),
+            (f"auto ({auto})", auto),
+            ("coarse (64k)", 65536),
+            (f"one-per-worker ({N // P})", N // P),
+        ):
+            out[f"cilk_for grainsize {label}"] = run_stealing_loop(
+                space, P, ctx, style="cilk_for", grainsize=g
+            ).time
+        return out
+
+    out = run_once(benchmark, measure)
+    save(
+        "ablation_grainsize",
+        f"axpy n={N} p={P}\n" + "\n".join(f"  {k:36s} {v * 1e3:8.3f} ms" for k, v in out.items()),
+    )
+
+    base = out["omp_for static (baseline)"]
+    fine = out["cilk_for grainsize fine (256)"]
+    coarse = out[f"cilk_for grainsize one-per-worker ({N // P})"]
+    # fine grains pay the scatter penalty; coarse grains approach static
+    assert fine > coarse
+    assert coarse <= base * 1.25
+    assert fine >= base * 1.3

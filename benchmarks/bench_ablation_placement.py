@@ -1,0 +1,57 @@
+"""Ablation: thread placement (OMP_PROC_BIND close vs spread).
+
+The paper's memory-abstraction discussion (Table II: OMP_PLACES,
+proc_bind) is about exactly this dial.  On the simulated machine:
+spreading threads across sockets doubles the memory controllers
+available to a bandwidth-bound kernel at mid thread counts, at the
+price of NUMA traffic — compute-bound kernels don't care.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.core.experiment import run_experiment
+from repro.runtime.base import ExecContext
+
+THREADS = (2, 4, 8, 16, 36)
+
+
+def bench_ablation_placement(benchmark, ctx, save):
+    spread_ctx = ExecContext(machine=replace(ctx.machine, placement="spread"))
+
+    def measure():
+        out = {}
+        for name, c in (("close", ctx), ("spread", spread_ctx)):
+            ax = run_experiment("axpy", versions=("omp_for",), threads=THREADS, ctx=c, n=8_000_000)
+            mm = run_experiment("matmul", versions=("omp_for",), threads=THREADS, ctx=c, n=1024)
+            out[name] = (ax, mm)
+        return out
+
+    out = run_once(benchmark, measure)
+    lines = [f"placement ablation, omp_for times at threads {THREADS}"]
+    for name, (ax, mm) in out.items():
+        lines.append(
+            f"  axpy   {name:6s} " + " ".join(f"{t * 1e3:8.3f}ms" for t in ax.times("omp_for"))
+        )
+    for name, (ax, mm) in out.items():
+        lines.append(
+            f"  matmul {name:6s} " + " ".join(f"{t * 1e3:8.3f}ms" for t in mm.times("omp_for"))
+        )
+    save("ablation_placement", "\n".join(lines))
+
+    ax_close, mm_close = out["close"]
+    ax_spread, mm_spread = out["spread"]
+    # the crossover: at p=4 one socket still feeds every thread at its
+    # per-core cap, so spread only adds NUMA tax...
+    assert ax_spread.time("omp_for", 4) > ax_close.time("omp_for", 4)
+    # ...but once one socket's controllers saturate (p=8..16), the second
+    # socket's bandwidth wins despite the NUMA tax
+    for p in (8, 16):
+        assert ax_spread.time("omp_for", p) < ax_close.time("omp_for", p)
+    # both placements meet at full machine
+    assert ax_spread.time("omp_for", 36) == ax_close.time("omp_for", 36)
+    # compute-bound: placement is irrelevant
+    for p in THREADS:
+        ratio = mm_spread.time("omp_for", p) / mm_close.time("omp_for", p)
+        assert 0.99 <= ratio <= 1.01

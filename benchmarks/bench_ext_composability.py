@@ -1,0 +1,34 @@
+"""Extension: the composability problem (paper section III.B).
+
+"In OpenMP, the parallelism of a parallel region is mandatory and
+static ... so it suffers from the composability problem when there is
+oversubscription.  In Cilk Plus, the composition problem has been
+addressed through the workstealing runtime."
+
+A parallel driver loop over p items, each calling a parallel inner
+routine: with nesting enabled OpenMP runs p^2 software threads whose
+mandatory inner barriers cost OS-quantum time once descheduled; Cilk
+composes the same work into its fixed worker pool.
+"""
+
+from conftest import run_once
+
+from repro.extensions.composability import composability_study, render_composability
+
+THREADS = (4, 8, 16, 36)
+
+
+def bench_ext_composability(benchmark, ctx, save):
+    results = run_once(benchmark, lambda: composability_study(ctx, threads=THREADS))
+    save("ext_composability", render_composability(results, THREADS))
+
+    nested = dict(zip(THREADS, results["omp_nested"]))
+    serial = dict(zip(THREADS, results["omp_serialized"]))
+    cilk = dict(zip(THREADS, results["cilk"]))
+    # within hardware contexts, nesting legitimately helps
+    assert nested[8] < serial[8]
+    # past them, the paper's collapse: worse than either alternative
+    assert nested[36] > 5 * cilk[36]
+    assert nested[36] > 5 * serial[36]
+    # Cilk composes flat (work grows with p, time does not)
+    assert max(cilk.values()) / min(cilk.values()) < 1.2

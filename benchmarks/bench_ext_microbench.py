@@ -1,0 +1,28 @@
+"""Extension: EPCC-style runtime-overhead table.
+
+Not a paper figure — the quantitative backing for section III.B's
+runtime discussion: fork/barrier costs growing with the team, static
+vs. dynamic dispatch, and lock-based vs. THE-protocol per-task cost.
+"""
+
+from conftest import run_once
+
+from repro.microbench import render_report, run_suite
+
+THREADS = (1, 2, 4, 8, 16, 36)
+
+
+def bench_ext_microbench(benchmark, ctx, save):
+    report = run_once(benchmark, lambda: run_suite(THREADS, ctx))
+    save("ext_microbench", render_report(report))
+
+    rows = report.rows
+    # overheads grow with the team size
+    assert rows["parallel (fork+barrier)"][-1] > rows["parallel (fork+barrier)"][1]
+    # static dispatch is essentially free; dynamic pays the shared counter
+    assert rows["for static"][-1] < 0.1e-6
+    assert rows["for dynamic"][-1] > rows["for static"][-1] * 10
+    # the paper's deque claim, quantified per task
+    locked = rows["task / omp (locked deque)"]
+    the = rows["task / cilk (THE deque)"]
+    assert all(lo > th for lo, th in zip(locked[1:], the[1:]))

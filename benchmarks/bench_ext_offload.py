@@ -1,0 +1,34 @@
+"""Extension: offloading trade-off (Tables I-II feature rows, quantified).
+
+Bandwidth-bound Axpy on the 36-core host vs. the K40-class device:
+per-call transfers lose badly (PCIe << host memory bandwidth), resident
+buffers win once enough iterations amortize the one-time copies.
+"""
+
+from conftest import run_once
+
+from repro.extensions.offload_study import axpy_offload_study, crossover_iterations
+
+N = 8_000_000
+
+
+def bench_ext_offload(benchmark, ctx, save):
+    def study():
+        few = axpy_offload_study(ctx, n=N, iterations=1)
+        many = axpy_offload_study(ctx, n=N, iterations=40)
+        cross = crossover_iterations(ctx, n=N)
+        return few, many, cross
+
+    few, many, cross = run_once(benchmark, study)
+    save(
+        "ext_offload",
+        "Axpy offloading study (host = 36 cores, device = K40-class)\n"
+        f"  {few.describe()}\n  {many.describe()}\n"
+        f"  residency crossover: {cross} iterations",
+    )
+
+    assert not few.per_call_wins
+    assert not few.resident_wins           # one kernel can't amortize copies
+    assert many.resident_wins              # forty can
+    assert not many.per_call_wins          # per-call never wins on axpy
+    assert cross is not None and 1 < cross <= 40

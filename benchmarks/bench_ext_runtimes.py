@@ -1,0 +1,33 @@
+"""Extension: task-runtime implementations (Podobas et al., ref [18]).
+
+fib across Cilk Plus (THE deques), Intel OpenMP (locked per-worker
+deques) and GCC libgomp (one central queue): the central queue's single
+lock saturates and task-parallel scaling collapses — the cited study's
+core finding, emergent from the lock model rather than asserted.
+"""
+
+from conftest import run_once
+
+from repro.extensions.runtimes import compare_task_runtimes, render_comparison
+
+N = 19
+THREADS = (1, 2, 4, 8, 16, 36)
+
+
+def bench_ext_runtimes(benchmark, ctx, save):
+    results = run_once(
+        benchmark, lambda: compare_task_runtimes(ctx, n=N, threads=THREADS)
+    )
+    save("ext_runtimes", render_comparison(results, THREADS, N))
+
+    cilk, intel, gcc = (results[r] for r in ("cilk", "intel_omp", "gcc_libgomp"))
+    # ordering at every thread count: cilk <= intel <= gcc
+    for c, i, g in zip(cilk, intel, gcc):
+        assert c <= i <= g
+    # cilk and intel keep scaling to 36 threads
+    assert cilk[0] / cilk[-1] > 20
+    assert intel[0] / intel[-1] > 20
+    # the central queue saturates: adding threads past 8 buys < 15%
+    assert gcc[3] / gcc[-1] < 1.15
+    # and the gap at full machine is large
+    assert gcc[-1] / intel[-1] > 4

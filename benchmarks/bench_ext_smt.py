@@ -1,0 +1,38 @@
+"""Extension: hyper-threading (SMT) sweep to 72 contexts.
+
+The paper's testbed has two-way hyper-threading but its plots stop at
+36 threads.  Extending the sweep across the SMT boundary shows the
+machine model's regimes: a compute-bound kernel gains the SMT
+throughput factor (~1.3x over one-per-core), a bandwidth-bound kernel
+gains nothing (the memory system was already the wall), and
+oversubscribing past 72 costs everyone.
+"""
+
+from conftest import run_once
+
+from repro.core.experiment import run_experiment
+
+THREADS = (18, 36, 54, 72, 100)
+
+
+def bench_ext_smt(benchmark, ctx, save):
+    def sweep():
+        mm = run_experiment("matmul", versions=("omp_for",), threads=THREADS, ctx=ctx, n=2048)
+        ax = run_experiment("axpy", versions=("omp_for",), threads=THREADS, ctx=ctx, n=8_000_000)
+        return mm, ax
+
+    mm, ax = run_once(benchmark, sweep)
+    lines = [f"SMT sweep (36 physical cores, 72 contexts), threads {THREADS}"]
+    lines.append("  matmul omp_for " + " ".join(f"{t * 1e3:8.2f}ms" for t in mm.times("omp_for")))
+    lines.append("  axpy   omp_for " + " ".join(f"{t * 1e3:8.2f}ms" for t in ax.times("omp_for")))
+    save("ext_smt", "\n".join(lines))
+
+    t = dict(zip(THREADS, mm.times("omp_for")))
+    # compute-bound: SMT pays, roughly the smt_throughput factor
+    gain = t[36] / t[72]
+    assert 1.1 <= gain <= ctx.machine.smt_throughput + 0.05
+    # oversubscription past the contexts costs
+    assert t[100] > t[72]
+    # bandwidth-bound: SMT is useless (within 5%)
+    a = dict(zip(THREADS, ax.times("omp_for")))
+    assert a[72] >= a[36] * 0.95

@@ -1,0 +1,39 @@
+"""Extension: Unbalanced Tree Search (related-work replication).
+
+The paper cites Olivier & Prins's UTS study of task runtimes.  On the
+same simulated machine: static partitioning is hostage to the largest
+root subtree, while every work-stealing runtime rebalances; Cilk's
+cheaper spawn path keeps it ahead of the OpenMP tasking model.
+"""
+
+from conftest import run_once
+
+from repro.extensions import uts
+from repro.runtime.run import run_program
+from repro.sim.machine import PAPER_MACHINE
+
+MAX_NODES = 120_000
+THREADS = (1, 4, 16, 36)
+
+
+def bench_ext_uts(benchmark, ctx, save):
+    def sweep():
+        out: dict[str, list[float]] = {}
+        for v in uts.VERSIONS:
+            prog = uts.program(v, machine=PAPER_MACHINE, max_nodes=MAX_NODES)
+            out[v] = [run_program(prog, p, ctx, v).time for p in THREADS]
+        return out
+
+    out = run_once(benchmark, sweep)
+    lines = [f"UTS (~{MAX_NODES} nodes), time by threads {THREADS}"]
+    for v, times in out.items():
+        lines.append(f"  {v:12s} " + " ".join(f"{t * 1e3:9.2f}ms" for t in times))
+    save("ext_uts", "\n".join(lines))
+
+    # static partitioning cannot scale past the heaviest subtree
+    assert out["cxx_static"][-1] > out["omp_task"][-1] * 3
+    assert out["cxx_static"][1] == out["cxx_static"][-1]  # flat: only b0 units
+    # stealing runtimes scale well
+    assert out["omp_task"][0] / out["omp_task"][-1] > 15
+    # Cilk's spawn path stays ahead of the locked-deque OpenMP model
+    assert all(c <= o for c, o in zip(out["cilk_spawn"], out["omp_task"]))

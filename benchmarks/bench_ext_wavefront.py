@@ -1,0 +1,36 @@
+"""Extension: task-dependence wavefront (Table I's data/event-driven).
+
+OpenMP ``task depend`` against the barrier-per-antidiagonal
+formulation: dependences let blocks from neighbouring diagonals
+overlap, so the depend version wins and the gap widens with threads.
+"""
+
+from conftest import run_once
+
+from repro.extensions import wavefront
+from repro.runtime.run import run_program
+from repro.sim.machine import PAPER_MACHINE
+
+NB = 40
+THREADS = (1, 4, 16, 36)
+
+
+def bench_ext_wavefront(benchmark, ctx, save):
+    def sweep():
+        out: dict[str, list[float]] = {}
+        for v in wavefront.VERSIONS:
+            prog = wavefront.program(v, machine=PAPER_MACHINE, nb=NB)
+            out[v] = [run_program(prog, p, ctx, v).time for p in THREADS]
+        return out
+
+    out = run_once(benchmark, sweep)
+    lines = [f"wavefront {NB}x{NB} blocks, time by threads {THREADS}"]
+    for v, times in out.items():
+        lines.append(f"  {v:16s} " + " ".join(f"{t * 1e3:9.3f}ms" for t in times))
+    save("ext_wavefront", "\n".join(lines))
+
+    # dependences beat barriers once parallelism is available
+    assert out["omp_depend"][-1] < out["omp_for_diag"][-1]
+    assert out["omp_depend"][2] < out["omp_for_diag"][2]
+    # thread-per-block futures pay creation costs and trail everyone
+    assert out["cxx_future"][-1] > out["omp_depend"][-1]

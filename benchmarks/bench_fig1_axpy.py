@@ -1,0 +1,33 @@
+"""Fig. 1 — Axpy (paper: N = 100M).
+
+Expected shape: "cilk_for implementation has the worst performance,
+while other versions almost show the similar performance that are
+around two times better than cilk_for except for 32 cores".
+"""
+
+from conftest import THREADS, run_once
+
+from repro.core.experiment import run_experiment
+from repro.core.metrics import best_version, gap, version_ratio
+from repro.core.report import render_sweep
+
+N = 8_000_000  # reduced from 100M; per-chunk dynamics unchanged (DESIGN.md)
+
+
+def bench_fig1_axpy(benchmark, ctx, save):
+    sweep = run_once(
+        benchmark, lambda: run_experiment("axpy", threads=THREADS, ctx=ctx, n=N)
+    )
+    save("fig1_axpy", render_sweep(sweep, chart=True))
+
+    # cilk_for worst at every low/mid thread count, by ~2x at low p
+    for p in (2, 4, 8, 16):
+        assert max(sweep.versions, key=lambda v: sweep.time(v, p)) == "cilk_for"
+    assert version_ratio(sweep, "cilk_for", best_version(sweep, 2), 2) >= 1.6
+    assert version_ratio(sweep, "cilk_for", best_version(sweep, 4), 4) >= 1.6
+    # others similar: within 30% of each other at p=8
+    others = [v for v in sweep.versions if v != "cilk_for"]
+    spread = max(sweep.time(v, 8) for v in others) / min(sweep.time(v, 8) for v in others)
+    assert spread <= 1.3
+    # the gap narrows at high thread counts (paper: "except for 32 cores")
+    assert gap(sweep, "cilk_for", 36) < gap(sweep, "cilk_for", 4)

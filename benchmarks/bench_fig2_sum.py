@@ -1,0 +1,32 @@
+"""Fig. 2 — Sum (paper: N = 100M, worksharing + reduction).
+
+Expected shape: "cilk_for performs the worst while omp_task has the
+best performance and performs around five times better than cilk_for";
+the reducer hyperobject's per-access cost is the culprit.
+"""
+
+from conftest import THREADS, run_once
+
+from repro.core.experiment import run_experiment
+from repro.core.metrics import gap, version_ratio
+from repro.core.report import render_sweep
+
+N = 8_000_000
+
+
+def bench_fig2_sum(benchmark, ctx, save):
+    sweep = run_once(
+        benchmark, lambda: run_experiment("sum", threads=THREADS, ctx=ctx, n=N)
+    )
+    save("fig2_sum", render_sweep(sweep, chart=True))
+
+    for p in (2, 4, 8):
+        assert max(sweep.versions, key=lambda v: sweep.time(v, p)) == "cilk_for"
+    # ~5x gap between cilk_for and omp_task at low/mid threads
+    r4 = version_ratio(sweep, "cilk_for", "omp_task", 4)
+    assert 3.0 <= r4 <= 8.0, f"expected ~5x, got {r4:.1f}x"
+    # omp_task at or near the front throughout
+    for p in (2, 4, 8, 16):
+        assert gap(sweep, "omp_task", p) <= 1.15
+    # convergence at high threads (everyone becomes bandwidth bound)
+    assert version_ratio(sweep, "cilk_for", "omp_task", 36) < r4

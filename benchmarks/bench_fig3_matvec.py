@@ -1,0 +1,32 @@
+"""Fig. 3 — Matvec (paper: 40k x 40k).
+
+Expected shape: "cilk_for performs around 25% worse than the other
+versions" — here the gap is the NUMA placement term (row chunks are
+hundreds of KB, so the fine-chunk term vanishes), which appears once
+the computation spans both sockets.
+"""
+
+from conftest import THREADS, run_once
+
+from repro.core.experiment import run_experiment
+from repro.core.metrics import gap
+from repro.core.report import render_sweep
+
+N = 40_000  # the paper's size
+
+
+def bench_fig3_matvec(benchmark, ctx, save):
+    sweep = run_once(
+        benchmark, lambda: run_experiment("matvec", threads=THREADS, ctx=ctx, n=N)
+    )
+    save("fig3_matvec", render_sweep(sweep, chart=True))
+
+    # cross-socket: the ~25% gap
+    g36 = gap(sweep, "cilk_for", 36)
+    assert 1.12 <= g36 <= 1.5, f"expected ~1.25x, got {g36:.2f}x"
+    g32 = gap(sweep, "cilk_for", 32)
+    assert g32 >= 1.1
+    # other five versions stay within 20% of each other at p=36
+    others = [v for v in sweep.versions if v != "cilk_for"]
+    spread = max(sweep.time(v, 36) for v in others) / min(sweep.time(v, 36) for v in others)
+    assert spread <= 1.2

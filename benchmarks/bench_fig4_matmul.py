@@ -1,0 +1,53 @@
+"""Fig. 4 — Matmul (paper: 2k x 2k).
+
+Expected shape: "cilk_for has the worst performance for this kernel as
+well, and other versions perform around 10% better than cilk_for" —
+i.e. the gap shrinks as arithmetic intensity grows: "as the computation
+intensity increases from AXPY to Matvec and Matmul, we see less impact
+of runtime scheduling to the performance".
+"""
+
+from conftest import THREADS, run_once
+
+from repro.core.experiment import run_experiment
+from repro.core.metrics import gap
+from repro.core.report import render_sweep
+
+N = 2048  # the paper's size
+
+
+def bench_fig4_matmul(benchmark, ctx, save):
+    sweep = run_once(
+        benchmark, lambda: run_experiment("matmul", threads=THREADS, ctx=ctx, n=N)
+    )
+    save("fig4_matmul", render_sweep(sweep, chart=True))
+
+    gaps = {p: gap(sweep, "cilk_for", p) for p in THREADS}
+    # small gap, bounded by ~1.35 everywhere and visible somewhere
+    assert all(g <= 1.35 for g in gaps.values()), gaps
+    assert any(g >= 1.03 for g in gaps.values()), gaps
+    # compute bound: near-linear scaling for the static versions
+    t1, t36 = sweep.time("omp_for", 1), sweep.time("omp_for", 36)
+    assert t1 / t36 >= 20
+
+
+def bench_fig4_intensity_ordering(benchmark, ctx, save):
+    """Cross-kernel check of the intensity claim: gap(axpy) >= gap(matvec)
+    >= gap(matmul).  Measured at the cross-socket scale (p=36), where all
+    three mechanisms (scatter, NUMA, split overhead) are in play."""
+
+    def sweeps():
+        return (
+            run_experiment("axpy", threads=(36,), ctx=ctx, n=8_000_000),
+            run_experiment("matvec", threads=(36,), ctx=ctx, n=40_000),
+            run_experiment("matmul", threads=(36,), ctx=ctx, n=2048),
+        )
+
+    ax, mv, mm = run_once(benchmark, sweeps)
+    g = [gap(s, "cilk_for", 36) for s in (ax, mv, mm)]
+    save(
+        "fig4_intensity_ordering",
+        "cilk_for gap at p=36 by kernel (paper: decreasing with intensity)\n"
+        f"axpy={g[0]:.2f}x  matvec={g[1]:.2f}x  matmul={g[2]:.2f}x",
+    )
+    assert g[0] >= g[1] - 1e-3 >= g[2] - 2e-3

@@ -1,0 +1,66 @@
+"""Fig. 5 — Fibonacci (paper: n = 40, task parallelism only).
+
+Expected shape: "cilk_spawn performs around 20% better than omp_task
+except for 1 core, because the workstealing for omp_task in the Intel
+compiler uses lock-based deque ... which increases more contention and
+overhead than the workstealing protocol in Cilk Plus"; and "for
+recursive implementation in C++, when problem size increases to 20 or
+above, the system hangs because huge number of threads is created".
+
+We simulate n = 22 (~87k tasks; n = 40 would be ~300M) — per-node
+overhead ratios, which are what the figure shows, are scale-free.
+"""
+
+import pytest
+from conftest import THREADS, run_once
+
+from repro.core.experiment import run_experiment
+from repro.core.metrics import version_ratio
+from repro.core.report import render_sweep
+from repro.core.registry import get_workload
+from repro.runtime.base import ExecContext, ThreadExplosionError
+from repro.runtime.run import run_program
+
+N = 22
+
+
+def bench_fig5_fib(benchmark, ctx, save):
+    sweep = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "fib", versions=("omp_task", "cilk_spawn"), threads=THREADS, ctx=ctx, n=N
+        ),
+    )
+    save("fig5_fib", render_sweep(sweep, chart=True))
+
+    ratios = {p: version_ratio(sweep, "omp_task", "cilk_spawn", p) for p in THREADS[1:]}
+    assert all(1.08 <= r <= 1.5 for r in ratios.values()), ratios
+    # "except for 1 core": the gap is smaller there (undeferred tasks)
+    r1 = version_ratio(sweep, "omp_task", "cilk_spawn", 1)
+    assert r1 < min(ratios.values())
+
+
+def bench_fig5_cxx_hang(benchmark, ctx, save):
+    """The C++11 recursive version explodes at exactly n = 20."""
+    spec = get_workload("fib")
+
+    def probe():
+        outcomes = {}
+        for n in (18, 19, 20, 21):
+            try:
+                prog = spec.build("cxx_async", ctx.machine, n=n)
+                res = run_program(prog, 8, ctx, "cxx_async")
+                outcomes[n] = f"ran ({res.time:.4f}s)"
+            except ThreadExplosionError:
+                outcomes[n] = "HANG (thread explosion)"
+        return outcomes
+
+    outcomes = run_once(benchmark, probe)
+    save(
+        "fig5_cxx_hang",
+        "recursive std::async fib:\n"
+        + "\n".join(f"  n={n}: {o}" for n, o in outcomes.items()),
+    )
+    assert outcomes[19].startswith("ran")
+    assert outcomes[20].startswith("HANG")
+    assert outcomes[21].startswith("HANG")

@@ -1,0 +1,38 @@
+"""Fig. 6 — Rodinia BFS (paper: 16M-node graph).
+
+Expected shape: "this algorithm scales well up to 8 cores ... cilk_for
+has the worst performance while others perform closely.  This happens
+because workstealing creates more overhead for data parallelism."
+The plateau comes from random-access memory traffic saturating the
+sockets' effective bandwidth.
+"""
+
+from conftest import THREADS, run_once
+
+from repro.core.experiment import run_experiment
+from repro.core.metrics import gap, speedup
+from repro.core.report import render_sweep
+
+N_NODES = 4_000_000  # reduced from 16M; level structure preserved
+
+
+def bench_fig6_bfs(benchmark, ctx, save):
+    sweep = run_once(
+        benchmark,
+        lambda: run_experiment("bfs", threads=THREADS, ctx=ctx, n_nodes=N_NODES),
+    )
+    save("fig6_bfs", render_sweep(sweep, chart=True))
+
+    sp = dict(zip(sweep.threads, speedup(sweep, "omp_for")))
+    # scales well to 8 cores...
+    assert sp[8] >= 3.0
+    # ...then flattens: 4.5x more threads buy < 2x more speedup
+    assert sp[36] <= 1.9 * sp[8]
+    # cilk_for worst at low/mid threads
+    for p in (2, 4, 8):
+        assert max(sweep.versions, key=lambda v: sweep.time(v, p)) == "cilk_for"
+        assert gap(sweep, "cilk_for", p) >= 1.1
+    # others perform closely at p=8
+    others = [v for v in sweep.versions if v != "cilk_for"]
+    spread = max(sweep.time(v, 8) for v in others) / min(sweep.time(v, 8) for v in others)
+    assert spread <= 1.35

@@ -1,0 +1,40 @@
+"""Fig. 7 — Rodinia HotSpot (paper: 8192 grid).
+
+Expected shape: "data parallelism of both Cilk Plus and OpenMP show
+poor performance ... because of the dynamic nature of this algorithm
+and dependency in different compute intensive parallel loop phases.
+Task version of OpenMP also shows weak performance for small number of
+threads because of more overhead costs, but ... as more threads are
+added, the task parallel implementations are gaining more than the
+worksharing parallel implementations."
+"""
+
+from conftest import THREADS, run_once
+
+from repro.core.experiment import run_experiment
+from repro.core.metrics import version_ratio
+from repro.core.report import render_sweep
+
+GRID = 4096
+STEPS = 4
+
+
+def bench_fig7_hotspot(benchmark, ctx, save):
+    sweep = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "hotspot", threads=THREADS, ctx=ctx, grid=GRID, steps=STEPS
+        ),
+    )
+    save("fig7_hotspot", render_sweep(sweep, chart=True))
+
+    # tasking gains with threads: omp_task/omp_for ratio falls below 1
+    # and keeps falling as p grows
+    r = {p: version_ratio(sweep, "omp_task", "omp_for", p) for p in THREADS}
+    assert r[1] >= 0.99  # no tasking advantage at one thread
+    assert r[36] < 0.85, f"tasking should win big at p=36, ratio={r[36]:.2f}"
+    assert r[36] < r[4] < r[1] * 1.02
+    # static data-parallel versions trail the task versions at scale
+    task_best = min(sweep.time(v, 36) for v in ("omp_task", "cilk_spawn"))
+    static_best = min(sweep.time(v, 36) for v in ("omp_for", "cxx_thread"))
+    assert task_best < static_best

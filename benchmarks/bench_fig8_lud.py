@@ -1,0 +1,35 @@
+"""Fig. 8 — Rodinia LUD (blocked LU decomposition).
+
+Expected shape: "two parallel loops with dependency to an outer loop"
+— the shrinking triangular phases serialize at the diagonal and pay a
+fork/barrier per phase, capping every version's efficiency well below
+1; the per-phase task-creation/steal ramp makes the task versions trail
+worksharing at scale.
+"""
+
+from conftest import THREADS, run_once
+
+from repro.core.experiment import run_experiment
+from repro.core.metrics import speedup, version_ratio
+from repro.core.report import render_sweep
+
+N = 2048  # the paper's typical Rodinia size
+BLOCK = 32
+
+
+def bench_fig8_lud(benchmark, ctx, save):
+    sweep = run_once(
+        benchmark,
+        lambda: run_experiment("lud", threads=THREADS, ctx=ctx, n=N, block=BLOCK),
+    )
+    save("fig8_lud", render_sweep(sweep, chart=True))
+
+    # limited scaling for everyone
+    for v in sweep.versions:
+        eff36 = speedup(sweep, v)[-1] / sweep.threads[-1]
+        assert eff36 <= 0.75, f"{v} efficiency {eff36:.2f} too good for LUD"
+    # worksharing leads the task versions at p=36 (phase ramp overhead)
+    assert version_ratio(sweep, "omp_task", "omp_for", 36) >= 1.05
+    # everything still clearly beats serial
+    for v in sweep.versions:
+        assert sweep.time(v, 36) < sweep.time(v, 1) / 3

@@ -1,0 +1,39 @@
+"""Fig. 9 — Rodinia LavaMD and SRAD.
+
+Expected shape: the applications whose "implementations perform more
+closely such as LavaMD and SRAD applications" — uniform per-task work
+and adequate arithmetic intensity leave the runtimes little to
+differentiate on.
+"""
+
+from conftest import THREADS, run_once
+
+from repro.core.experiment import run_experiment
+from repro.core.metrics import gap, speedup
+from repro.core.report import render_sweep
+
+LAVAMD = {"boxes1d": 10}  # the paper-scale box grid
+SRAD = {"grid": 2048, "iters": 10}
+
+
+def bench_fig9a_lavamd(benchmark, ctx, save):
+    sweep = run_once(
+        benchmark, lambda: run_experiment("lavamd", threads=THREADS, ctx=ctx, **LAVAMD)
+    )
+    save("fig9a_lavamd", render_sweep(sweep, chart=True))
+
+    worst = max(gap(sweep, v, p) for v in sweep.versions for p in sweep.threads)
+    assert worst <= 1.3, f"versions should stay close, worst gap {worst:.2f}x"
+    # compute-bound: excellent scaling
+    assert speedup(sweep, "omp_for")[-1] >= 25
+
+
+def bench_fig9b_srad(benchmark, ctx, save):
+    sweep = run_once(
+        benchmark, lambda: run_experiment("srad", threads=THREADS, ctx=ctx, **SRAD)
+    )
+    save("fig9b_srad", render_sweep(sweep, chart=True))
+
+    worst = max(gap(sweep, v, p) for v in sweep.versions for p in sweep.threads)
+    assert worst <= 1.35, f"versions should stay close, worst gap {worst:.2f}x"
+    assert speedup(sweep, "omp_for")[-1] >= 15

@@ -1,0 +1,23 @@
+"""Section IV summary: every qualitative finding of the paper, checked.
+
+"worksharing mostly shows better performance for data parallelism and
+workstealing has better performance for task parallelism" — plus the
+ten figure-level claims, run as one battery.
+"""
+
+from conftest import run_once
+
+from repro.core.claims import ALL_CLAIMS, run_all_claims
+
+
+def bench_summary_claims(benchmark, ctx, save):
+    results = run_once(benchmark, lambda: run_all_claims(ctx))
+    lines = ["Paper findings vs. this reproduction", "=" * 60]
+    for r in results:
+        lines.append(str(r))
+        lines.append(f"    paper: {r.paper_says}")
+    save("summary_claims", "\n".join(lines))
+
+    assert len(results) == len(ALL_CLAIMS)
+    failed = [r.claim_id for r in results if not r.passed]
+    assert not failed, f"claims failed: {failed}"

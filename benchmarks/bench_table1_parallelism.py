@@ -1,0 +1,25 @@
+"""Table I: comparison of parallelism support across the eight models."""
+
+from conftest import run_once
+
+from repro.features import ALL_MODELS, render_table1
+from repro.features.tables import table1_rows
+
+
+def bench_table1(benchmark, save):
+    text = run_once(benchmark, render_table1)
+    save("table1_parallelism", text)
+
+    rows = {r[0]: r[1:] for r in table1_rows()}
+    # the paper's headline cells
+    assert rows["OpenMP"] == [
+        "parallel for, simd, distribute",
+        "task/taskwait",
+        "depend (in/out/inout)",
+        "host and device (target)",
+    ]
+    assert rows["C++11"][0] == "x"
+    assert rows["PThreads"][2] == "x"
+    assert "cilk_spawn" in rows["Cilk Plus"][1]
+    # task parallelism is the foundational mechanism: supported by all
+    assert all(m.supports("task_parallelism") for m in ALL_MODELS)

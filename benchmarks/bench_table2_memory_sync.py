@@ -1,0 +1,25 @@
+"""Table II: memory-hierarchy abstraction and synchronization."""
+
+from conftest import run_once
+
+from repro.features import MODELS, render_table2
+from repro.features.tables import table2_rows
+
+
+def bench_table2(benchmark, save):
+    text = run_once(benchmark, render_table2)
+    save("table2_memory_sync", text)
+
+    rows = {r[0]: r[1:] for r in table2_rows()}
+    # "Only OpenMP provides constructs ... memory hierarchy (as places)
+    # and the binding of computation with data (proc_bind clause)"
+    binders = [name for name, r in rows.items() if MODELS[name].supports("data_binding")]
+    assert "OpenMP" in binders and "C++11" not in binders
+    assert "OMP_PLACES" in rows["OpenMP"][0]
+    assert rows["OpenMP"][1] == "proc_bind clause"
+    # host-only models need no explicit data movement
+    for host_only in ("Cilk Plus", "C++11", "PThreads", "TBB"):
+        assert rows[host_only][2].startswith("N/A")
+    # Cilk/TBB tasking: no thread barrier by design
+    assert rows["TBB"][3] == "N/A (tasking)"
+    assert rows["Cilk Plus"][4] == "reducers"

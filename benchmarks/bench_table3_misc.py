@@ -1,0 +1,26 @@
+"""Table III: mutual exclusion, language bindings, errors, tools."""
+
+from conftest import run_once
+
+from repro.features import render_table3
+from repro.features.tables import table3_rows
+
+
+def bench_table3(benchmark, save):
+    text = run_once(benchmark, render_table3)
+    save("table3_misc", text)
+
+    rows = {r[0]: r[1:] for r in table3_rows()}
+    # "most of the models have C and C++ bindings, but only OpenMP and
+    # OpenACC have Fortran bindings"
+    fortran = [name for name, r in rows.items() if "Fortran" in r[1]]
+    assert sorted(fortran) == ["OpenACC", "OpenMP"]
+    # "OpenMP has its cancel construct"; PThreads has pthread_cancel
+    assert rows["OpenMP"][2] == "omp cancel"
+    assert rows["PThreads"][2] == "pthread_cancel"
+    # dedicated tool interfaces: Cilk Plus, CUDA, OpenMP
+    assert "Cilkscreen" in rows["Cilk Plus"][3]
+    assert "CUDA" in rows["CUDA"][3]
+    assert "OMP Tool" in rows["OpenMP"][3]
+    # locks/mutexes remain the dominant mutual exclusion everywhere
+    assert all(r[0] not in ("", "x") for r in rows.values())

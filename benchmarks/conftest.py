@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_figN_*.py`` regenerates one of the paper's figures: it
+runs the full six-version thread sweep through the simulator (that run
+is what pytest-benchmark times), prints the paper-style table, writes
+it to ``benchmarks/out/``, and asserts the figure's shape claims.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Problem sizes are the registry defaults (reduced from paper scale so
+the suite finishes in minutes; DESIGN.md explains why ratios are
+preserved).  Pass paper scale by editing the PARAMS dicts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.experiment import PAPER_THREADS
+from repro.runtime.base import ExecContext
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: thread counts of the paper's plots
+THREADS = PAPER_THREADS
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExecContext:
+    return ExecContext()
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save(out_dir):
+    """Persist a rendered report under benchmarks/out/ and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        path = out_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Benchmark a sweep exactly once (sweeps are deterministic and
+    expensive; statistical rounds add nothing)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

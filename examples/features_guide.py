@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Feature guide: the paper's Tables I-III as an API chooser.
+
+The paper's stated goal: the comparison "could be used as a guide for
+users to choose the APIs for their applications according to their
+features, interface and performance reported".  This example renders
+the three tables and walks through a few realistic selection queries.
+
+Usage:  python examples/features_guide.py
+"""
+
+from repro.features import (
+    compare,
+    get_model,
+    models_supporting,
+    recommend,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+
+def main() -> None:
+    print(render_table1())
+    print()
+    print(render_table2())
+    print()
+    print(render_table3())
+    print()
+
+    print("=" * 72)
+    print("Q1. I need to offload to an accelerator AND keep Fortran code:")
+    for m, _score in recommend(["offloading"], ["reduction"]):
+        if "Fortran" in m.language:
+            print(f"  -> {m.name}: {m.offloading.how}; bindings: {m.language}")
+    print()
+
+    print("Q2. Irregular recursive parallelism on CPU — who has tasking +")
+    print("    a load-balancing runtime?")
+    for m in models_supporting("task_parallelism"):
+        if "stealing" in m.scheduling:
+            print(f"  -> {m.name}: {m.task_parallelism.how}  [{m.scheduling}]")
+    print()
+
+    print("Q3. Side-by-side: the paper's three benchmarked models")
+    print(compare(["OpenMP", "Cilk Plus", "C++11"],
+                  ["data_parallelism", "task_parallelism", "reduction",
+                   "barrier", "mutual_exclusion", "error_handling"]))
+    print()
+
+    print("Q4. Most comprehensive model overall (paper: OpenMP):")
+    best = recommend([], ["data_parallelism", "task_parallelism", "data_event_driven",
+                          "offloading", "memory_hierarchy", "data_binding",
+                          "data_movement", "barrier", "reduction", "join",
+                          "mutual_exclusion", "error_handling", "tool_support"])[0]
+    print(f"  -> {best[0].name} with {best[1]} of 13 feature groups")
+    omp = get_model("openmp")
+    print(f"     runtime: {omp.scheduling}")
+
+
+if __name__ == "__main__":
+    main()

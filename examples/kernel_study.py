@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Kernel study: reproduce Figs. 1-5 and explain them.
+
+For each of the five kernels this runs the six-version thread sweep,
+prints the paper-style table, and then *explains* the result using the
+simulator's introspection — steal counts, overhead fractions, the
+placement penalty — the way section IV.A of the paper does in prose.
+
+Usage:  python examples/kernel_study.py [--full]
+        --full uses the paper's problem sizes (slower).
+"""
+
+import argparse
+
+from repro import ExecContext, ThreadExplosionError, get_workload, run_experiment
+from repro.core.report import figure_table, summary_line
+from repro.runtime.run import run_program
+
+
+def explain(sweep, version: str, p: int) -> str:
+    """One line of runtime-level explanation for a (version, p) cell."""
+    res = sweep.results.get((version, p))
+    if res is None:
+        return f"{version} p={p}: failed ({sweep.errors.get((version, p), '?')})"
+    return (
+        f"{version:11s} p={p:2d}: util={res.utilization():5.1%} "
+        f"overhead/busy={res.overhead_fraction():6.2%} steals={res.total_steals}"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale problem sizes")
+    args = parser.parse_args()
+
+    ctx = ExecContext()
+    for name in ("axpy", "sum", "matvec", "matmul", "fib"):
+        spec = get_workload(name)
+        params = dict(spec.paper_params if args.full else spec.default_params)
+        sweep = run_experiment(name, ctx=ctx, **params)
+        print("=" * 78)
+        print(figure_table(sweep, title=f"{spec.figure} — {name} {params}"))
+        print(summary_line(sweep, sweep.threads[-1]))
+        print("-- runtime introspection at p=8:")
+        for v in sweep.versions:
+            print("  " + explain(sweep, v, 8))
+        print()
+
+    # Fig. 5's footnote: the recursive C++11 version "hangs" at n >= 20.
+    print("=" * 78)
+    print("Recursive C++11 fib (no cut-off):")
+    spec = get_workload("fib")
+    for n in (18, 19, 20):
+        try:
+            prog = spec.build("cxx_async", ctx.machine, n=n)
+            res = run_program(prog, 8, ctx, "cxx_async")
+            print(f"  fib({n}): ran in {res.time:.4f}s simulated")
+        except ThreadExplosionError as exc:
+            print(f"  fib({n}): HANG — {exc}")
+
+
+if __name__ == "__main__":
+    main()

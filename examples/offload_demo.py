@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Offloading demo: the feature rows of Tables I-II, quantified.
+
+Runs the same Axpy loop through every offloading front-end (CUDA kernel
+launches, OpenACC parallel regions and data regions, OpenMP target) and
+against the 36-core host, showing the decisions the paper's feature
+comparison implies: transfers dominate bandwidth-bound kernels, data
+residency amortizes them, async launches hide the rest.
+
+Usage:  python examples/offload_demo.py [--n 8000000]
+"""
+
+import argparse
+
+from repro import ExecContext
+from repro.extensions.offload_study import axpy_offload_study, crossover_iterations
+from repro.kernels import axpy
+from repro.models import cuda, openacc, openmp
+from repro.runtime.run import execute_region, run_program
+from repro.sim.device import K40
+from repro.sim.task import Program
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=8_000_000)
+    args = parser.parse_args()
+    ctx = ExecContext()
+    space = axpy.space(ctx.machine, args.n)
+    in_b, out_b = 16.0 * args.n, 8.0 * args.n
+
+    print(f"Axpy, n={args.n}: one kernel through each front-end")
+    host = execute_region(openmp.parallel_for(space), 36, ctx)
+    print(f"  host omp_for (36 cores)        {host.time * 1e3:9.3f} ms")
+    for label, region in (
+        ("cuda, memcpy both ways", cuda.kernel_launch(space, copy_in=in_b, copy_out=out_b)),
+        ("cuda, async stream", cuda.kernel_launch(space, copy_in=in_b, copy_out=out_b, stream=True)),
+        ("cuda, resident buffers", cuda.kernel_launch(space, resident=True)),
+        ("acc parallel, copyin/out", openacc.parallel_region(space, copyin=in_b, copyout=out_b)),
+        ("omp target map(to/from)", openmp.target_parallel_for(space, map_to=in_b, map_from=out_b)),
+    ):
+        res = execute_region(region, 1, ctx)
+        extra = f" (kernel {res.meta['kernel'] * 1e3:.3f} ms)" if "kernel" in res.meta else ""
+        print(f"  {label:30s} {res.time * 1e3:9.3f} ms{extra}")
+
+    print()
+    print("Iterated Axpy: when does residency pay?")
+    for iters in (1, 5, 20, 40):
+        cmp = axpy_offload_study(ctx, n=args.n, iterations=iters)
+        print("  " + cmp.describe())
+    cross = crossover_iterations(ctx, n=args.n)
+    print(f"  -> crossover at {cross} iterations")
+
+    print()
+    print("OpenACC data region around 10 kernels:")
+    prog = Program("acc")
+    openacc.data_region(prog, [space] * 10, device=K40, copyin=in_b, copyout=out_b)
+    res = run_program(prog, 1, ctx)
+    print(f"  total {res.time * 1e3:.3f} ms for 10 kernels "
+          f"({len(prog)} regions incl. the two transfers)")
+
+
+if __name__ == "__main__":
+    main()

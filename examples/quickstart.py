@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: one figure, one claim, one feature query.
+
+Runs the paper's Fig. 1 (Axpy) sweep on the simulated two-socket Xeon,
+prints the execution-time table and the paper's headline finding, then
+asks the feature database which models could replace the one you're
+using.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro import (
+    PAPER_MACHINE,
+    check_claim,
+    figure_table,
+    render_table1,
+    run_experiment,
+    summary_line,
+)
+from repro.features import models_supporting
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Machine:", PAPER_MACHINE.name, "-",
+          f"{PAPER_MACHINE.physical_cores} cores / {PAPER_MACHINE.hw_threads} hw threads")
+    print("=" * 72)
+
+    # --- Fig. 1: Axpy, six versions, 1..36 threads -----------------------
+    sweep = run_experiment("axpy", n=8_000_000)
+    print(figure_table(sweep, title="Fig. 1 — Axpy (n=8M, scaled from the paper's 100M)"))
+    print()
+    print(summary_line(sweep, 8))
+    print()
+
+    # --- the paper's finding, checked --------------------------------------
+    result = check_claim("axpy_cilkfor_worst")
+    print(f"Paper says: {result.paper_says}")
+    print(result)
+    print()
+
+    # --- feature database ---------------------------------------------------
+    print("Models with offloading support (Table I):",
+          ", ".join(m.name for m in models_supporting("offloading")))
+    print()
+    print(render_table1())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Rodinia study: reproduce Figs. 6-9 and the paper's per-app analysis.
+
+Runs the five Rodinia applications in all six versions, prints each
+figure's table, and checks the app-specific observations:
+
+- BFS scales only to ~8 cores (random-access bandwidth);
+- HotSpot's skewed dependent phases favour tasking at high thread
+  counts;
+- LUD's shrinking phases cap every version's efficiency;
+- LavaMD and SRAD are uniform enough that all versions stay close.
+
+Usage:  python examples/rodinia_study.py [--full]
+"""
+
+import argparse
+
+from repro import ExecContext, get_workload, run_experiment
+from repro.core.metrics import best_version, gap, scaling_plateau, speedup
+from repro.core.report import figure_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale problem sizes")
+    args = parser.parse_args()
+
+    ctx = ExecContext()
+    sweeps = {}
+    for name in ("bfs", "hotspot", "lud", "lavamd", "srad"):
+        spec = get_workload(name)
+        params = dict(spec.paper_params if args.full else spec.default_params)
+        sweeps[name] = run_experiment(name, ctx=ctx, **params)
+        print("=" * 78)
+        print(figure_table(sweeps[name], title=f"{spec.figure} — {name} {params}"))
+        print()
+
+    print("=" * 78)
+    print("Per-app analysis (paper section IV.B):")
+    bfs = sweeps["bfs"]
+    print(
+        f"  BFS: omp_for speedups {['%.1f' % s for s in speedup(bfs, 'omp_for')]}"
+        f" -> plateau at ~{scaling_plateau(bfs, 'omp_for')} threads"
+        " (random access saturates memory)"
+    )
+    hs = sweeps["hotspot"]
+    p = hs.threads[-1]
+    print(
+        f"  HotSpot at p={p}: best is {best_version(hs, p)};"
+        f" omp_for trails by {gap(hs, 'omp_for', p):.2f}x (static schedule eats the"
+        " skewed rows; tasks balance them)"
+    )
+    lud = sweeps["lud"]
+    effs = {v: speedup(lud, v)[-1] / lud.threads[-1] for v in lud.versions}
+    print(
+        "  LUD efficiency at p=%d: %s (shrinking dependent phases)"
+        % (lud.threads[-1], ", ".join(f"{v}={e:.2f}" for v, e in effs.items()))
+    )
+    for name in ("lavamd", "srad"):
+        s = sweeps[name]
+        worst = max(gap(s, v, q) for v in s.versions for q in s.threads)
+        print(f"  {name}: worst version only {worst:.2f}x off the best — uniform compute")
+
+
+if __name__ == "__main__":
+    main()

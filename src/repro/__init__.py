@@ -1,0 +1,65 @@
+"""repro — reproduction of *Comparison of Threading Programming Models*
+(Salehian, Liu, Yan; IPPS 2017).
+
+The paper compares the language features and runtime systems of eight
+threading models and benchmarks OpenMP, Cilk Plus and C++11 on five
+kernels and five Rodinia applications.  This package rebuilds that
+study as a library:
+
+- :mod:`repro.sim` — discrete-event machine/runtime simulator (replaces
+  the paper's dual-socket Xeon testbed; see DESIGN.md);
+- :mod:`repro.runtime` — worksharing, work-stealing and bare-thread
+  schedulers;
+- :mod:`repro.models` — OpenMP / Cilk Plus / C++11 front-end APIs;
+- :mod:`repro.features` — Tables I-III as a queryable database;
+- :mod:`repro.kernels`, :mod:`repro.rodinia` — the ten workloads;
+- :mod:`repro.core` — sweeps, metrics, reports, and the paper's
+  findings as checkable claims;
+- :mod:`repro.native` — real-thread functional backend (GIL-aware).
+
+Quick start::
+
+    from repro import run_experiment, figure_table
+    sweep = run_experiment("axpy")      # Fig. 1
+    print(figure_table(sweep))
+"""
+
+from repro.core import (
+    ALL_CLAIMS,
+    WORKLOADS,
+    check_claim,
+    figure_table,
+    get_workload,
+    render_sweep,
+    run_all_claims,
+    run_experiment,
+    summary_line,
+)
+from repro.features import render_table1, render_table2, render_table3
+from repro.runtime import ExecContext, ThreadExplosionError, run_program
+from repro.sim import CostModel, Machine
+from repro.sim.machine import PAPER_MACHINE
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_CLAIMS",
+    "CostModel",
+    "ExecContext",
+    "Machine",
+    "PAPER_MACHINE",
+    "ThreadExplosionError",
+    "WORKLOADS",
+    "check_claim",
+    "figure_table",
+    "get_workload",
+    "render_sweep",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "run_all_claims",
+    "run_experiment",
+    "run_program",
+    "summary_line",
+    "__version__",
+]

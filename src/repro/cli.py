@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's artifacts:
+
+- ``tables``       — render Tables I-III;
+- ``workloads``    — list the registered benchmarks and their figures;
+- ``figure NAME``  — rerun one figure's sweep and print the report;
+- ``claims``       — check every encoded finding of the paper;
+- ``compare M...`` — side-by-side feature comparison of named models;
+- ``microbench``   — EPCC-style runtime-overhead table;
+- ``offload``      — the host-vs-accelerator extension study;
+- ``machine``      — describe the simulated testbed;
+- ``report``       — regenerate every table/figure/claim into a directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Comparison of Threading Programming Models' (IPPS 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="render Tables I-III")
+    sub.add_parser("workloads", help="list benchmarks")
+    sub.add_parser("machine", help="describe the simulated machine")
+    sub.add_parser("claims", help="check the paper's findings")
+
+    fig = sub.add_parser("figure", help="rerun one figure's sweep")
+    fig.add_argument("workload", help="workload name (axpy, sum, ..., srad)")
+    fig.add_argument("--threads", type=int, nargs="+", default=None)
+    fig.add_argument("--full", action="store_true", help="paper-scale parameters")
+    fig.add_argument("--chart", action="store_true", help="include the ASCII chart")
+
+    cmp_p = sub.add_parser("compare", help="feature comparison of models")
+    cmp_p.add_argument("models", nargs="+", help="model names (e.g. openmp cilk tbb)")
+
+    micro = sub.add_parser("microbench", help="runtime overhead table")
+    micro.add_argument("--threads", type=int, nargs="+", default=[1, 2, 4, 8, 16, 36])
+
+    off = sub.add_parser("offload", help="host vs accelerator study")
+    off.add_argument("--n", type=int, default=8_000_000)
+    off.add_argument("--iterations", type=int, default=10)
+
+    rep = sub.add_parser("report", help="regenerate every table/figure/claim")
+    rep.add_argument("--out", default="report_out")
+    rep.add_argument("--full", action="store_true", help="paper-scale parameters")
+    rep.add_argument("--threads", type=int, nargs="+", default=None)
+    rep.add_argument("--workloads", nargs="+", default=None)
+    rep.add_argument("--no-claims", action="store_true", help="skip the claim battery")
+    return parser
+
+
+def _cmd_tables() -> int:
+    from repro.features import render_table1, render_table2, render_table3
+
+    print(render_table1())
+    print()
+    print(render_table2())
+    print()
+    print(render_table3())
+    return 0
+
+
+def _cmd_workloads() -> int:
+    from repro.core.registry import WORKLOADS
+
+    for name, spec in sorted(WORKLOADS.items(), key=lambda kv: kv[1].figure):
+        print(
+            f"{spec.figure:<9} {name:<8} versions={len(spec.versions)} "
+            f"paper={dict(spec.paper_params)} — {spec.description}"
+        )
+    return 0
+
+
+def _cmd_machine() -> int:
+    from repro.sim.machine import PAPER_MACHINE as m
+
+    print(f"{m.name}: {m.sockets} sockets x {m.cores_per_socket} cores x {m.smt} SMT "
+          f"@ {m.ghz} GHz")
+    print(f"  {m.physical_cores} physical cores, {m.hw_threads} hardware threads")
+    print(f"  {m.socket_bandwidth / 1e9:.0f} GB/s per socket "
+          f"({m.total_bandwidth / 1e9:.0f} GB/s total), "
+          f"{m.core_bandwidth / 1e9:.0f} GB/s per-core cap")
+    print(f"  NUMA: remote fraction {m.numa_remote_fraction}, penalty {m.numa_penalty}x")
+    return 0
+
+
+def _cmd_claims() -> int:
+    from repro.core.claims import run_all_claims
+
+    results = run_all_claims()
+    for r in results:
+        print(r)
+    failed = [r for r in results if not r.passed]
+    print(f"\n{len(results) - len(failed)}/{len(results)} findings reproduce")
+    return 1 if failed else 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.core.experiment import run_experiment
+    from repro.core.registry import get_workload
+    from repro.core.report import render_sweep
+
+    spec = get_workload(args.workload)
+    params = dict(spec.paper_params if args.full else spec.default_params)
+    kwargs = {}
+    if args.threads:
+        kwargs["threads"] = tuple(args.threads)
+    sweep = run_experiment(args.workload, **kwargs, **params)
+    print(render_sweep(sweep, chart=args.chart))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.features import compare
+
+    print(compare(args.models))
+    return 0
+
+
+def _cmd_microbench(args: argparse.Namespace) -> int:
+    from repro.microbench import render_report, run_suite
+
+    print(render_report(run_suite(tuple(args.threads))))
+    return 0
+
+
+def _cmd_offload(args: argparse.Namespace) -> int:
+    from repro.extensions.offload_study import axpy_offload_study, crossover_iterations
+    from repro.runtime.base import ExecContext
+
+    ctx = ExecContext()
+    cmp = axpy_offload_study(ctx, n=args.n, iterations=args.iterations)
+    print(cmp.describe())
+    cross = crossover_iterations(ctx, n=args.n)
+    if cross is None:
+        print("resident device version never beats the host in range")
+    else:
+        print(f"resident device version wins from {cross} iterations on")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:  # e.g. `python -m repro tables | head`
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "tables":
+        return _cmd_tables()
+    if args.command == "workloads":
+        return _cmd_workloads()
+    if args.command == "machine":
+        return _cmd_machine()
+    if args.command == "claims":
+        return _cmd_claims()
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "microbench":
+        return _cmd_microbench(args)
+    if args.command == "offload":
+        return _cmd_offload(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.experiment import PAPER_THREADS
+    from repro.core.paperdoc import generate_report
+
+    out = generate_report(
+        args.out,
+        threads=tuple(args.threads) if args.threads else PAPER_THREADS,
+        paper_scale=args.full,
+        workloads=args.workloads,
+        include_claims=not args.no_claims,
+    )
+    print(f"wrote artifacts to {out}/ (see INDEX.md)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

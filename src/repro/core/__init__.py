@@ -1,0 +1,46 @@
+"""The comparison framework — the paper's methodology as a library.
+
+- :mod:`repro.core.registry` — every workload (5 kernels + 5 Rodinia
+  apps) with its six versions, paper parameters and figure number;
+- :mod:`repro.core.experiment` — thread-count sweeps producing the
+  time-vs-threads series behind each figure;
+- :mod:`repro.core.metrics` — speedup/efficiency/gap/crossover metrics;
+- :mod:`repro.core.report` — paper-style figure tables and ASCII charts;
+- :mod:`repro.core.claims` — the paper's findings as checkable
+  predicates (who wins, by what factor, where scaling stops).
+"""
+
+from repro.core.claims import ALL_CLAIMS, ClaimResult, check_claim, run_all_claims
+from repro.core.experiment import ExperimentConfig, SweepResult, run_experiment
+from repro.core.metrics import (
+    best_version,
+    efficiency,
+    gap,
+    scaling_plateau,
+    speedup,
+    version_ratio,
+)
+from repro.core.registry import WORKLOADS, WorkloadSpec, get_workload
+from repro.core.report import figure_table, render_sweep, summary_line
+
+__all__ = [
+    "ALL_CLAIMS",
+    "ClaimResult",
+    "ExperimentConfig",
+    "SweepResult",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "best_version",
+    "check_claim",
+    "efficiency",
+    "figure_table",
+    "gap",
+    "get_workload",
+    "render_sweep",
+    "run_all_claims",
+    "run_experiment",
+    "scaling_plateau",
+    "speedup",
+    "summary_line",
+    "version_ratio",
+]

@@ -1,0 +1,312 @@
+"""The paper's findings, encoded as checkable claims.
+
+Every qualitative statement in section IV ("cilk_for has the worst
+performance", "around five times better", "scales well up to 8 cores",
+"the system hangs") becomes a predicate over sweep results.  These are
+the reproduction's acceptance tests: absolute times differ from the
+paper's testbed, but the *shape* — who wins, by roughly what factor,
+where scaling stops — must hold.
+
+Claims run at reduced problem scale (registry default params) so the
+whole battery completes in seconds; EXPERIMENTS.md records the
+paper-scale numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.experiment import SweepResult, run_experiment
+from repro.core.metrics import best_version, gap, scaling_plateau, speedup, version_ratio
+from repro.runtime.base import ExecContext, ThreadExplosionError
+from repro.runtime.run import run_program
+from repro.core.registry import get_workload
+
+__all__ = ["Claim", "ClaimResult", "ALL_CLAIMS", "check_claim", "run_all_claims", "SweepCache"]
+
+_THREADS = (1, 2, 4, 8, 16, 36)
+
+
+@dataclass
+class ClaimResult:
+    claim_id: str
+    figure: str
+    paper_says: str
+    passed: bool
+    details: str
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.claim_id} ({self.figure}): {self.details}"
+
+
+@dataclass(frozen=True)
+class Claim:
+    claim_id: str
+    figure: str
+    paper_says: str
+    check: Callable[["SweepCache"], tuple[bool, str]]
+
+
+class SweepCache:
+    """Runs and memoizes sweeps so claims over one figure share work."""
+
+    def __init__(self, ctx: Optional[ExecContext] = None) -> None:
+        self.ctx = ctx or ExecContext()
+        self._cache: dict[str, SweepResult] = {}
+
+    def sweep(self, workload: str, **params) -> SweepResult:
+        key = workload + repr(sorted(params.items()))
+        if key not in self._cache:
+            self._cache[key] = run_experiment(
+                workload, threads=_THREADS, ctx=self.ctx, **params
+            )
+        return self._cache[key]
+
+
+# ---------------------------------------------------------------------------
+# claim predicates
+# ---------------------------------------------------------------------------
+def _axpy(cache: SweepCache) -> tuple[bool, str]:
+    s = cache.sweep("axpy")
+    worst_ok = all(max(s.versions, key=lambda v: s.time(v, p)) == "cilk_for" for p in (2, 4, 8))
+    r2, r4 = (version_ratio(s, "cilk_for", best_version(s, p), p) for p in (2, 4))
+    big_gap = r2 >= 1.4 and r4 >= 1.4
+    others = [v for v in s.versions if v != "cilk_for"]
+    spread8 = max(s.time(v, 8) for v in others) / min(s.time(v, 8) for v in others)
+    close = spread8 <= 1.3
+    detail = (
+        f"cilk_for worst at p=2,4,8: {worst_ok}; gap p2={r2:.2f}x p4={r4:.2f}x;"
+        f" others spread at p=8: {spread8:.2f}x"
+    )
+    return worst_ok and big_gap and close, detail
+
+
+def _sum(cache: SweepCache) -> tuple[bool, str]:
+    s = cache.sweep("sum")
+    r = version_ratio(s, "cilk_for", "omp_task", 4)
+    big = r >= 3.0
+    task_near_best = all(gap(s, "omp_task", p) <= 1.15 for p in (2, 4, 8, 16))
+    worst_ok = all(max(s.versions, key=lambda v: s.time(v, p)) == "cilk_for" for p in (2, 4, 8))
+    detail = (
+        f"cilk_for/omp_task at p=4: {r:.1f}x (paper ~5x); omp_task near-best: "
+        f"{task_near_best}; cilk_for worst: {worst_ok}"
+    )
+    return big and task_near_best and worst_ok, detail
+
+
+def _matvec(cache: SweepCache) -> tuple[bool, str]:
+    s = cache.sweep("matvec")
+    g36 = gap(s, "cilk_for", 36)
+    g16 = gap(s, "cilk_for", 16)
+    # Cross-socket runs show the paper's ~25% gap; within one socket the
+    # huge (multi-hundred-KB) row chunks stream fine, so near-parity at
+    # p=16 is the model's (documented) deviation.
+    moderate = 1.12 <= g36 <= 1.5 and g16 >= 0.99
+    detail = f"cilk_for gap at p=16,36: {g16:.2f}x, {g36:.2f}x (paper ~1.25x)"
+    return moderate, detail
+
+
+def _matmul(cache: SweepCache) -> tuple[bool, str]:
+    s = cache.sweep("matmul")
+    gaps = [gap(s, "cilk_for", p) for p in (8, 16, 36)]
+    small = all(1.0 <= g <= 1.35 for g in gaps) and any(g >= 1.03 for g in gaps)
+    detail = "cilk_for gaps p=8,16,36: " + ", ".join(f"{g:.3f}x" for g in gaps) + " (paper ~1.1x)"
+    return small, detail
+
+
+def _fib_gap(cache: SweepCache) -> tuple[bool, str]:
+    s = cache.sweep("fib")
+    ratios = {p: version_ratio(s, "omp_task", "cilk_spawn", p) for p in (2, 4, 8, 16, 36)}
+    in_band = all(1.08 <= r <= 1.5 for r in ratios.values())
+    r1 = version_ratio(s, "omp_task", "cilk_spawn", 1)
+    one_core_smaller = r1 < min(ratios.values())
+    detail = (
+        "omp_task/cilk_spawn: p1="
+        + f"{r1:.2f}x, others "
+        + ", ".join(f"p{p}={r:.2f}x" for p, r in ratios.items())
+        + " (paper ~1.2x except 1 core)"
+    )
+    return in_band and one_core_smaller, detail
+
+
+def _fib_hang(cache: SweepCache) -> tuple[bool, str]:
+    spec = get_workload("fib")
+    ctx = cache.ctx
+    try:
+        prog = spec.build("cxx_async", ctx.machine, n=20)
+        run_program(prog, 8, ctx, "cxx_async")
+        return False, "fib(20) with std::async ran to completion (expected hang)"
+    except ThreadExplosionError as exc:
+        pass
+    # and fib(19) must still run
+    prog = spec.build("cxx_async", ctx.machine, n=19)
+    res = run_program(prog, 8, ctx, "cxx_async")
+    return True, f"fib(20) hangs (thread explosion), fib(19) runs in {res.time:.3f}s"
+
+
+def _bfs(cache: SweepCache) -> tuple[bool, str]:
+    s = cache.sweep("bfs")
+    sp = dict(zip(s.threads, speedup(s, "omp_for")))
+    scales_to_8 = sp[8] >= 3.0
+    flat_after = sp[36] <= 1.9 * sp[8]
+    worst = all(max(s.versions, key=lambda v: s.time(v, p)) == "cilk_for" for p in (2, 4))
+    detail = (
+        f"omp_for speedup p8={sp[8]:.1f} p36={sp[36]:.1f}; cilk_for worst at p=2,4: {worst}"
+    )
+    return scales_to_8 and flat_after and worst, detail
+
+
+def _hotspot(cache: SweepCache) -> tuple[bool, str]:
+    s = cache.sweep("hotspot")
+    task_best36 = min(s.time(v, 36) for v in ("omp_task", "cilk_spawn"))
+    static36 = min(s.time(v, 36) for v in ("omp_for", "cxx_thread"))
+    gains = task_best36 < static36 * 0.92
+    close_low = version_ratio(s, "omp_task", "omp_for", 1) <= 1.05
+    detail = (
+        f"at p=36 tasking {static36 / task_best36:.2f}x faster than static data-parallel;"
+        f" p=1 omp_task/omp_for={version_ratio(s, 'omp_task', 'omp_for', 1):.3f}"
+    )
+    return gains and close_low, detail
+
+
+def _lud(cache: SweepCache) -> tuple[bool, str]:
+    s = cache.sweep("lud")
+    effs = {v: speedup(s, v)[-1] / s.threads[-1] for v in s.versions}
+    # shrinking dependent phases cap scaling for every version, and the
+    # per-phase task creation/steal ramp makes the task versions trail
+    # worksharing at scale
+    limited = all(e <= 0.6 for e in effs.values())
+    ws_leads = gap(s, "omp_for", 36) <= 1.1 and version_ratio(s, "omp_task", "omp_for", 36) >= 1.1
+    detail = (
+        "efficiency at p=36: "
+        + ", ".join(f"{v}={e:.2f}" for v, e in effs.items())
+        + f"; omp_task/omp_for at p=36: {version_ratio(s, 'omp_task', 'omp_for', 36):.2f}x"
+    )
+    return limited and ws_leads, detail
+
+
+def _uniform_close(cache: SweepCache) -> tuple[bool, str]:
+    details = []
+    ok = True
+    for app in ("lavamd", "srad"):
+        s = cache.sweep(app)
+        worst = max(
+            gap(s, v, p) for v in s.versions for p in s.threads
+        )
+        details.append(f"{app} worst gap {worst:.2f}x")
+        # "close" relative to the 1.4x-1.9x divergences of HotSpot/Axpy
+        ok = ok and worst <= 1.30
+    return ok, "; ".join(details) + " (paper: versions perform closely)"
+
+
+def _worksharing_data_tasking_tasks(cache: SweepCache) -> tuple[bool, str]:
+    ok = True
+    details = []
+    for k in ("axpy", "matvec", "matmul"):
+        s = cache.sweep(k)
+        g = max(gap(s, "omp_for", p) for p in (2, 4, 8, 16, 36))
+        details.append(f"{k} omp_for gap<= {g:.2f}x")
+        ok = ok and g <= 1.1
+    s = cache.sweep("fib")
+    fib_best = all(best_version(s, p) == "cilk_spawn" for p in (2, 4, 8, 16, 36))
+    details.append(f"fib cilk_spawn best: {fib_best}")
+    return ok and fib_best, "; ".join(details)
+
+
+ALL_CLAIMS: tuple[Claim, ...] = (
+    Claim(
+        "axpy_cilkfor_worst",
+        "Fig. 1",
+        "cilk_for implementation has the worst performance, while other versions almost "
+        "show the similar performance that are around two times better than cilk_for",
+        _axpy,
+    ),
+    Claim(
+        "sum_omp_task_best",
+        "Fig. 2",
+        "cilk_for performs the worst while omp_task has the best performance and performs "
+        "around five times better than cilk_for",
+        _sum,
+    ),
+    Claim(
+        "matvec_moderate_gap",
+        "Fig. 3",
+        "cilk_for performs around 25% worse than the other versions",
+        _matvec,
+    ),
+    Claim(
+        "matmul_small_gap",
+        "Fig. 4",
+        "cilk_for has the worst performance for this kernel as well, and other versions "
+        "perform around 10% better than cilk_for",
+        _matmul,
+    ),
+    Claim(
+        "fib_cilk_spawn_better",
+        "Fig. 5",
+        "cilk_spawn performs around 20% better than omp_task except for 1 core",
+        _fib_gap,
+    ),
+    Claim(
+        "fib_cxx_hangs",
+        "Fig. 5",
+        "for recursive implementation in C++, when problem size increases to 20 or above, "
+        "the system hangs because huge number of threads is created",
+        _fib_hang,
+    ),
+    Claim(
+        "bfs_scales_to_8",
+        "Fig. 6",
+        "this algorithm scales well up to 8 cores ... cilk_for has the worst performance "
+        "while others perform closely",
+        _bfs,
+    ),
+    Claim(
+        "hotspot_tasking_gains",
+        "Fig. 7",
+        "as more threads are added, the task parallel implementations are gaining more "
+        "than the worksharing parallel implementations",
+        _hotspot,
+    ),
+    Claim(
+        "lud_limited_scaling",
+        "Fig. 8",
+        "two parallel loops with dependency to an outer loop (shrinking phases limit "
+        "scaling; bare threads pay per-region creation)",
+        _lud,
+    ),
+    Claim(
+        "lavamd_srad_close",
+        "Fig. 9",
+        "applications ... perform more closely such as LavaMD and SRAD",
+        _uniform_close,
+    ),
+    Claim(
+        "worksharing_vs_workstealing",
+        "Sec. IV.A",
+        "worksharing mostly shows better performance for data parallelism and "
+        "workstealing has better performance for task parallelism",
+        _worksharing_data_tasking_tasks,
+    ),
+)
+
+_CLAIMS_BY_ID = {c.claim_id: c for c in ALL_CLAIMS}
+
+
+def check_claim(claim_id: str, cache: Optional[SweepCache] = None) -> ClaimResult:
+    """Check one claim by id."""
+    try:
+        claim = _CLAIMS_BY_ID[claim_id]
+    except KeyError:
+        raise KeyError(f"unknown claim {claim_id!r}; known: {sorted(_CLAIMS_BY_ID)}") from None
+    cache = cache or SweepCache()
+    passed, details = claim.check(cache)
+    return ClaimResult(claim.claim_id, claim.figure, claim.paper_says, passed, details)
+
+
+def run_all_claims(ctx: Optional[ExecContext] = None) -> list[ClaimResult]:
+    """Check every claim, sharing sweeps through one cache."""
+    cache = SweepCache(ctx)
+    return [check_claim(c.claim_id, cache) for c in ALL_CLAIMS]

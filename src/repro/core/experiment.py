@@ -1,0 +1,106 @@
+"""Experiment driver: thread-count sweeps across versions.
+
+One :func:`run_experiment` call regenerates the data behind one paper
+figure: for every version of a workload and every thread count, build
+the program, run it through its runtime, and collect the simulated
+times into a :class:`SweepResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.core.registry import get_workload
+from repro.runtime.base import ExecContext, ThreadExplosionError
+from repro.runtime.run import run_program
+from repro.sim.trace import SimResult
+
+__all__ = ["PAPER_THREADS", "ExperimentConfig", "SweepResult", "run_experiment"]
+
+#: Thread counts shown in the paper's figures.
+PAPER_THREADS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 36)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of one sweep."""
+
+    workload: str
+    versions: tuple[str, ...]
+    threads: tuple[int, ...] = PAPER_THREADS
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """Times for every (version, thread count) of one workload."""
+
+    config: ExperimentConfig
+    figure: str
+    series: dict[str, list[Optional[float]]] = field(default_factory=dict)
+    results: dict[tuple[str, int], SimResult] = field(default_factory=dict)
+    errors: dict[tuple[str, int], str] = field(default_factory=dict)
+
+    @property
+    def workload(self) -> str:
+        return self.config.workload
+
+    @property
+    def threads(self) -> tuple[int, ...]:
+        return self.config.threads
+
+    @property
+    def versions(self) -> tuple[str, ...]:
+        return self.config.versions
+
+    def time(self, version: str, nthreads: int) -> float:
+        """Simulated seconds for one cell; raises if that run errored."""
+        key = (version, nthreads)
+        if key in self.errors:
+            raise RuntimeError(f"{key} failed: {self.errors[key]}")
+        return self.results[key].time
+
+    def times(self, version: str) -> list[Optional[float]]:
+        """Time series across threads (None where the run errored)."""
+        return self.series[version]
+
+
+def run_experiment(
+    workload: str,
+    versions: Optional[Sequence[str]] = None,
+    threads: Sequence[int] = PAPER_THREADS,
+    ctx: Optional[ExecContext] = None,
+    **params: Any,
+) -> SweepResult:
+    """Run one figure's sweep and return all series.
+
+    A :class:`ThreadExplosionError` (the C++11 fib hang) is recorded in
+    ``errors`` instead of propagating, so the sweep can report it the
+    way the paper does.
+    """
+    spec = get_workload(workload)
+    if versions is None:
+        versions = spec.versions
+    else:
+        versions = tuple(versions)
+        for v in versions:
+            if v not in spec.versions:
+                raise ValueError(f"{workload} has no version {v!r}")
+    ctx = ctx or ExecContext()
+    config = ExperimentConfig(workload, tuple(versions), tuple(threads), dict(params))
+    sweep = SweepResult(config=config, figure=spec.figure)
+    for version in versions:
+        row: list[Optional[float]] = []
+        for p in config.threads:
+            try:
+                prog = spec.build(version, ctx.machine, **params)
+                res = run_program(prog, p, ctx, version)
+            except ThreadExplosionError as exc:
+                sweep.errors[(version, p)] = str(exc)
+                row.append(None)
+                continue
+            sweep.results[(version, p)] = res
+            row.append(res.time)
+        sweep.series[version] = row
+    return sweep

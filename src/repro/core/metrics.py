@@ -1,0 +1,108 @@
+"""Metrics over sweep results: speedup, efficiency, gaps, crossovers."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.core.experiment import SweepResult
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "best_version",
+    "version_ratio",
+    "gap",
+    "scaling_plateau",
+    "crossover_threads",
+]
+
+
+def _clean(series: Sequence[Optional[float]]) -> list[float]:
+    out = []
+    for t in series:
+        if t is None:
+            raise ValueError("series contains failed runs")
+        out.append(t)
+    return out
+
+
+def speedup(sweep: SweepResult, version: str) -> list[float]:
+    """Speedup over the same version's one-thread time."""
+    times = _clean(sweep.times(version))
+    base = times[0]
+    if sweep.threads[0] != 1:
+        raise ValueError("speedup needs a 1-thread baseline in the sweep")
+    return [base / t for t in times]
+
+
+def efficiency(sweep: SweepResult, version: str) -> list[float]:
+    """Parallel efficiency: speedup / threads."""
+    return [s / p for s, p in zip(speedup(sweep, version), sweep.threads)]
+
+
+def best_version(sweep: SweepResult, nthreads: int) -> str:
+    """The fastest version at one thread count (errors excluded)."""
+    best, best_t = None, math.inf
+    for v in sweep.versions:
+        key = (v, nthreads)
+        if key in sweep.errors:
+            continue
+        t = sweep.results[key].time
+        if t < best_t:
+            best, best_t = v, t
+    if best is None:
+        raise ValueError(f"no successful runs at p={nthreads}")
+    return best
+
+
+def version_ratio(sweep: SweepResult, slow: str, fast: str, nthreads: int) -> float:
+    """time(slow) / time(fast) at one thread count."""
+    return sweep.time(slow, nthreads) / sweep.time(fast, nthreads)
+
+
+def gap(sweep: SweepResult, version: str, nthreads: int) -> float:
+    """How much slower ``version`` is than the best at ``nthreads``
+    (1.0 = it is the best)."""
+    return sweep.time(version, nthreads) / sweep.time(best_version(sweep, nthreads), nthreads)
+
+
+def scaling_plateau(
+    sweep: SweepResult, version: str, threshold: float = 1.15
+) -> int:
+    """The thread count past which adding threads stops paying.
+
+    Returns the largest ``p`` in the sweep such that going from the
+    previous thread count to ``p`` still improved time by at least
+    ``threshold``x per doubling-equivalent; i.e. where the curve goes
+    flat.  The paper uses this informally ("scales well up to 8
+    cores").
+    """
+    times = _clean(sweep.times(version))
+    threads = sweep.threads
+    plateau = threads[0]
+    for i in range(1, len(threads)):
+        factor = times[i - 1] / times[i]
+        step = threads[i] / threads[i - 1]
+        # required improvement scaled to the step size
+        needed = threshold ** math.log2(step)
+        if factor >= needed:
+            plateau = threads[i]
+        else:
+            break
+    return plateau
+
+
+def crossover_threads(
+    sweep: SweepResult, a: str, b: str
+) -> Optional[int]:
+    """First thread count where version ``a`` becomes faster than ``b``
+    after having been slower (None if no crossover)."""
+    was_slower = False
+    for p in sweep.threads:
+        ta, tb = sweep.time(a, p), sweep.time(b, p)
+        if ta > tb:
+            was_slower = True
+        elif was_slower and ta < tb:
+            return p
+    return None

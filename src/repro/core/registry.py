@@ -1,0 +1,176 @@
+"""Workload registry: every benchmark of the paper's evaluation.
+
+Each :class:`WorkloadSpec` ties together a workload builder, the
+versions it supports, the paper's problem size, a smaller default used
+for quick sweeps (the simulator is cycle-accurate in *structure*, so
+ratios are preserved; see DESIGN.md), and the figure it reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.kernels.common import KERNELS, build_kernel_program
+from repro.models import TASK_ONLY_VERSIONS, VERSIONS
+from repro.rodinia.common import RODINIA, build_rodinia_program
+from repro.sim.machine import Machine
+from repro.sim.task import Program
+
+__all__ = ["WorkloadSpec", "WORKLOADS", "get_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark: builder, versions, parameters, provenance."""
+
+    name: str
+    kind: str  # "kernel" or "rodinia"
+    figure: str
+    versions: tuple[str, ...]
+    paper_params: Mapping[str, Any]
+    default_params: Mapping[str, Any]
+    description: str
+
+    def build(self, version: str, machine: Machine, **overrides: Any) -> Program:
+        """Build this workload's program for ``version``.
+
+        ``overrides`` replace the default (quick-sweep) parameters;
+        pass ``**spec.paper_params`` for full paper scale.
+        """
+        if version not in self.versions:
+            raise ValueError(
+                f"{self.name} has no {version!r} version; available: {self.versions}"
+            )
+        params = dict(self.default_params)
+        params.update(overrides)
+        if self.kind == "kernel":
+            return build_kernel_program(self.name, version, machine, **params)
+        return build_rodinia_program(self.name, version, machine, **params)
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {}
+
+
+def _add(spec: WorkloadSpec) -> None:
+    WORKLOADS[spec.name] = spec
+
+
+_add(
+    WorkloadSpec(
+        name="axpy",
+        kind="kernel",
+        figure="Fig. 1",
+        versions=VERSIONS,
+        paper_params={"n": 100_000_000},
+        default_params={"n": 8_000_000},
+        description="y = a*x + y over N doubles; bandwidth bound",
+    )
+)
+_add(
+    WorkloadSpec(
+        name="sum",
+        kind="kernel",
+        figure="Fig. 2",
+        versions=VERSIONS,
+        paper_params={"n": 100_000_000},
+        default_params={"n": 8_000_000},
+        description="s = sum(a*X[i]); worksharing + reduction",
+    )
+)
+_add(
+    WorkloadSpec(
+        name="matvec",
+        kind="kernel",
+        figure="Fig. 3",
+        versions=VERSIONS,
+        paper_params={"n": 40_000},
+        default_params={"n": 40_000},
+        description="dense matrix-vector product over rows",
+    )
+)
+_add(
+    WorkloadSpec(
+        name="matmul",
+        kind="kernel",
+        figure="Fig. 4",
+        versions=VERSIONS,
+        paper_params={"n": 2048},
+        default_params={"n": 2048},
+        description="dense matrix-matrix product over rows; compute bound",
+    )
+)
+_add(
+    WorkloadSpec(
+        name="fib",
+        kind="kernel",
+        figure="Fig. 5",
+        versions=TASK_ONLY_VERSIONS,
+        paper_params={"n": 40},
+        default_params={"n": 22},
+        description="recursive task-parallel Fibonacci (spawn tree)",
+    )
+)
+_add(
+    WorkloadSpec(
+        name="bfs",
+        kind="rodinia",
+        figure="Fig. 6",
+        versions=VERSIONS,
+        paper_params={"n_nodes": 16_000_000},
+        default_params={"n_nodes": 2_000_000},
+        description="level-synchronous BFS over a 16M-node random graph",
+    )
+)
+_add(
+    WorkloadSpec(
+        name="hotspot",
+        kind="rodinia",
+        figure="Fig. 7",
+        versions=VERSIONS,
+        paper_params={"grid": 8192, "steps": 6},
+        default_params={"grid": 2048, "steps": 4},
+        description="thermal stencil with dependent phases and skewed rows",
+    )
+)
+_add(
+    WorkloadSpec(
+        name="lud",
+        kind="rodinia",
+        figure="Fig. 8",
+        versions=VERSIONS,
+        paper_params={"n": 2048, "block": 32},
+        default_params={"n": 1024, "block": 32},
+        description="blocked LU decomposition with shrinking parallel phases",
+    )
+)
+_add(
+    WorkloadSpec(
+        name="lavamd",
+        kind="rodinia",
+        figure="Fig. 9a",
+        versions=VERSIONS,
+        paper_params={"boxes1d": 10},
+        default_params={"boxes1d": 8},
+        description="uniform heavy per-box n-body compute",
+    )
+)
+_add(
+    WorkloadSpec(
+        name="srad",
+        kind="rodinia",
+        figure="Fig. 9b",
+        versions=VERSIONS,
+        paper_params={"grid": 2048, "iters": 100},
+        default_params={"grid": 2048, "iters": 10},
+        description="speckle-reducing anisotropic diffusion stencil",
+    )
+)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") from None

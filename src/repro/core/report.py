@@ -1,0 +1,95 @@
+"""Report rendering: paper-style figure tables and ASCII charts."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.core.experiment import SweepResult
+from repro.core.metrics import best_version, gap
+
+__all__ = ["figure_table", "render_sweep", "summary_line", "ascii_chart"]
+
+
+def _fmt_time(t: Optional[float]) -> str:
+    if t is None:
+        return "   HANG "
+    if t >= 1.0:
+        return f"{t:7.3f}s"
+    if t >= 1e-3:
+        return f"{t * 1e3:6.2f}ms"
+    return f"{t * 1e6:6.1f}us"
+
+
+def figure_table(sweep: SweepResult, title: str = "") -> str:
+    """Execution-time table: one row per version, one column per p."""
+    lines = []
+    head = title or f"{sweep.figure}: {sweep.workload} " + str(dict(sweep.config.params))
+    lines.append(head)
+    lines.append(
+        f"{'version':<12}" + "".join(f"{'p=' + str(p):>10}" for p in sweep.threads)
+    )
+    for v in sweep.versions:
+        cells = "".join(f"{_fmt_time(t):>10}" for t in sweep.times(v))
+        lines.append(f"{v:<12}{cells}")
+    return "\n".join(lines)
+
+
+def ascii_chart(sweep: SweepResult, width: int = 50) -> str:
+    """Log-scale horizontal bars of time at each thread count."""
+    rows = []
+    finite = [
+        t for v in sweep.versions for t in sweep.times(v) if t is not None and t > 0
+    ]
+    if not finite:
+        return "(no successful runs)"
+    lo, hi = min(finite), max(finite)
+    span = math.log10(hi / lo) if hi > lo else 1.0
+    for p in sweep.threads:
+        rows.append(f"p={p}")
+        for v in sweep.versions:
+            t = sweep.times(v)[sweep.threads.index(p)]
+            if t is None:
+                rows.append(f"  {v:<12} HANG")
+                continue
+            frac = math.log10(t / lo) / span if span > 0 else 0.0
+            bar = "#" * max(1, int(round(frac * width)))
+            rows.append(f"  {v:<12} {bar} {_fmt_time(t).strip()}")
+    return "\n".join(rows)
+
+
+def summary_line(sweep: SweepResult, nthreads: Optional[int] = None) -> str:
+    """One sentence in the paper's style: who wins, who loses, by how much."""
+    p = nthreads if nthreads is not None else sweep.threads[-1]
+    ok_versions = [v for v in sweep.versions if (v, p) not in sweep.errors]
+    if not ok_versions:
+        return f"{sweep.workload} at p={p}: every version failed"
+    best = best_version(sweep, p)
+    worst = max(ok_versions, key=lambda v: sweep.time(v, p))
+    ratio = sweep.time(worst, p) / sweep.time(best, p)
+    hang = [v for v in sweep.versions if (v, p) in sweep.errors]
+    msg = (
+        f"{sweep.workload} at p={p}: {best} fastest"
+        f" ({_fmt_time(sweep.time(best, p)).strip()}), {worst} slowest"
+        f" ({ratio:.2f}x slower)"
+    )
+    if hang:
+        msg += f"; hung: {', '.join(hang)}"
+    return msg
+
+
+def render_sweep(sweep: SweepResult, chart: bool = False) -> str:
+    """Full textual report for one figure."""
+    parts = [figure_table(sweep)]
+    worst_gaps = []
+    for p in sweep.threads:
+        ok = [v for v in sweep.versions if (v, p) not in sweep.errors]
+        if not ok:
+            continue
+        worst = max(ok, key=lambda v: gap(sweep, v, p))
+        worst_gaps.append(f"p={p}: worst={worst} ({gap(sweep, worst, p):.2f}x)")
+    parts.append("  ".join(worst_gaps))
+    parts.append(summary_line(sweep))
+    if chart:
+        parts.append(ascii_chart(sweep))
+    return "\n".join(parts)

@@ -1,0 +1,83 @@
+"""JSON (de)serialization of sweep results.
+
+Sweeps are deterministic, but regenerating a full paper-scale figure
+takes minutes; serializing lets tooling (plotters, CI trend checks)
+consume results without rerunning the simulator, and lets two builds
+be diffed for regressions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.experiment import ExperimentConfig, SweepResult
+from repro.sim.trace import SimResult
+
+__all__ = ["sweep_to_dict", "sweep_from_dict", "dump_sweep", "load_sweep"]
+
+_FORMAT_VERSION = 1
+
+
+def sweep_to_dict(sweep: SweepResult) -> dict[str, Any]:
+    """Lossy-but-sufficient dict form: config, figure, times, errors,
+    and per-run summary statistics (not full per-worker traces)."""
+    runs = {}
+    for (version, p), res in sweep.results.items():
+        runs[f"{version}@{p}"] = {
+            "time": res.time,
+            "busy": res.total_busy,
+            "overhead": res.total_overhead,
+            "tasks": res.total_tasks,
+            "steals": res.total_steals,
+        }
+    return {
+        "format": _FORMAT_VERSION,
+        "workload": sweep.workload,
+        "figure": sweep.figure,
+        "versions": list(sweep.versions),
+        "threads": list(sweep.threads),
+        "params": dict(sweep.config.params),
+        "series": {v: sweep.series[v] for v in sweep.versions},
+        "errors": {f"{v}@{p}": msg for (v, p), msg in sweep.errors.items()},
+        "runs": runs,
+    }
+
+
+def sweep_from_dict(data: dict[str, Any]) -> SweepResult:
+    """Rebuild a :class:`SweepResult` (summary statistics only)."""
+    if data.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported sweep format {data.get('format')!r}")
+    config = ExperimentConfig(
+        workload=data["workload"],
+        versions=tuple(data["versions"]),
+        threads=tuple(data["threads"]),
+        params=dict(data["params"]),
+    )
+    sweep = SweepResult(config=config, figure=data["figure"])
+    sweep.series = {v: list(times) for v, times in data["series"].items()}
+    for key, msg in data["errors"].items():
+        version, p = key.rsplit("@", 1)
+        sweep.errors[(version, int(p))] = msg
+    for key, run in data["runs"].items():
+        version, p = key.rsplit("@", 1)
+        sweep.results[(version, int(p))] = SimResult(
+            program=data["workload"],
+            version=version,
+            nthreads=int(p),
+            time=run["time"],
+            regions=[],
+        )
+    return sweep
+
+
+def dump_sweep(sweep: SweepResult, path: str) -> None:
+    """Write a sweep to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(sweep_to_dict(sweep), fh, indent=1)
+
+
+def load_sweep(path: str) -> SweepResult:
+    """Read a sweep from a JSON file."""
+    with open(path) as fh:
+        return sweep_from_dict(json.load(fh))

@@ -1,0 +1,28 @@
+"""Extension studies beyond the paper's evaluation.
+
+The paper's related-work section points at studies this repo can now
+replicate on the same substrate, and its feature tables describe
+mechanisms (task dependences, pipelines, offloading) its own benchmarks
+never exercise.  This package fills those gaps:
+
+- :mod:`repro.extensions.uts` — Unbalanced Tree Search (Olivier &
+  Prins, cited as [17]): the canonical load-balancing stress test,
+  where static partitioning collapses and work stealing shines;
+- :mod:`repro.extensions.wavefront` — a blocked 2-D wavefront using
+  OpenMP ``task depend`` (Table I's data/event-driven column) against
+  the barrier-per-antidiagonal formulation;
+- :mod:`repro.extensions.offload_study` — host (36-core worksharing)
+  vs. accelerator (CUDA / OpenACC data regions / OpenMP target) on the
+  same kernels, exposing the transfer-cost crossover the offloading
+  feature rows imply;
+- :mod:`repro.extensions.runtimes` — task-runtime *implementations*
+  (Cilk, Intel OpenMP, GCC libgomp's central queue), replicating the
+  cited Podobas et al. comparison;
+- :mod:`repro.extensions.composability` — the paper's composability
+  claim: nested OpenMP teams oversubscribe ("mandatory and static"
+  parallelism) while Cilk's work stealing composes for free.
+"""
+
+from repro.extensions import composability, offload_study, runtimes, uts, wavefront
+
+__all__ = ["composability", "offload_study", "runtimes", "uts", "wavefront"]

@@ -1,0 +1,118 @@
+"""Host vs. accelerator study for the offloading feature rows.
+
+Tables I-II credit CUDA / OpenACC / OpenCL / OpenMP with offloading and
+explicit data movement; section III.B notes that offloading support
+"varies depending how much the offloading features should be integrated
+with the parallelism support from CPU side".  This study quantifies the
+trade on the simulated hardware pair (36-core host, K40-class device):
+
+- a bandwidth-bound kernel (Axpy) with per-call transfers *loses* to
+  the 36-core host — PCIe is ~10x slower than host memory;
+- the same kernel inside a data region (OpenACC ``data`` / OpenMP
+  ``target data`` / CUDA resident buffers) *wins* once it iterates
+  enough times to amortize the one-time copies;
+- a compute-bound kernel (Matmul-like) wins on the device even with
+  transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.models import cuda, openacc, openmp
+from repro.runtime.base import ExecContext
+from repro.runtime.run import run_program
+from repro.sim.device import Device, K40
+from repro.sim.task import IterSpace, Program
+
+__all__ = ["OffloadComparison", "axpy_offload_study", "crossover_iterations"]
+
+
+@dataclass
+class OffloadComparison:
+    """Times (seconds) for one kernel in each placement strategy."""
+
+    host_time: float
+    device_per_call: float
+    device_resident: float
+    iterations: int
+
+    @property
+    def per_call_wins(self) -> bool:
+        return self.device_per_call < self.host_time
+
+    @property
+    def resident_wins(self) -> bool:
+        return self.device_resident < self.host_time
+
+    def describe(self) -> str:
+        return (
+            f"{self.iterations} iterations: host {self.host_time * 1e3:.3f} ms, "
+            f"device per-call {self.device_per_call * 1e3:.3f} ms, "
+            f"device resident {self.device_resident * 1e3:.3f} ms -> "
+            + (
+                "device (resident) wins"
+                if self.resident_wins
+                else "host wins"
+            )
+        )
+
+
+def axpy_offload_study(
+    ctx: ExecContext,
+    *,
+    n: int = 8_000_000,
+    iterations: int = 10,
+    host_threads: int = 36,
+    device: Optional[Device] = None,
+) -> OffloadComparison:
+    """Iterated Axpy: host worksharing vs. device with/without residency.
+
+    Each iteration reads x, y and writes y (24 bytes/element); per-call
+    offloading moves 2n doubles in and n doubles out every time, the
+    resident version moves them once around the whole loop.
+    """
+    from repro.kernels import axpy
+
+    dev = device if device is not None else K40
+    space = axpy.space(ctx.machine, n)
+    in_bytes, out_bytes = 16.0 * n, 8.0 * n
+
+    host = Program("axpy-host")
+    percall = Program("axpy-device-percall")
+    for _ in range(iterations):
+        host.add(openmp.parallel_for(space))
+        percall.add(
+            cuda.kernel_launch(space, device=dev, copy_in=in_bytes, copy_out=out_bytes)
+        )
+    resident = Program("axpy-device-resident")
+    openacc.data_region(
+        resident, [space] * iterations, device=dev, copyin=in_bytes, copyout=out_bytes
+    )
+
+    return OffloadComparison(
+        host_time=run_program(host, host_threads, ctx).time,
+        device_per_call=run_program(percall, 1, ctx).time,
+        device_resident=run_program(resident, 1, ctx).time,
+        iterations=iterations,
+    )
+
+
+def crossover_iterations(
+    ctx: ExecContext,
+    *,
+    n: int = 8_000_000,
+    host_threads: int = 36,
+    device: Optional[Device] = None,
+    max_iterations: int = 64,
+) -> Optional[int]:
+    """Smallest iteration count at which the resident device version
+    beats the host (None if it never does within the range)."""
+    for iters in range(1, max_iterations + 1):
+        cmp = axpy_offload_study(
+            ctx, n=n, iterations=iters, host_threads=host_threads, device=device
+        )
+        if cmp.resident_wins:
+            return iters
+    return None

@@ -1,0 +1,82 @@
+"""Task-runtime implementation comparison (Podobas et al., ref [18]).
+
+The paper's related work cites "a comparative performance study of
+common and popular task-centric programming frameworks" across OpenMP
+implementations (Intel, GCC/libgomp, ...) and Cilk runtimes.  This
+study reruns that comparison's core finding on the simulated machine:
+
+- **Cilk Plus** — THE-protocol per-worker deques, ~20 ns spawns;
+- **Intel OpenMP** — lock-based per-worker deques (the paper's
+  benchmarked runtime);
+- **GCC libgomp** — one *central* task queue protected by one lock:
+  every spawn and every dequeue contends, so task-parallel scaling
+  collapses at high thread counts (the Podobas finding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.kernels import fib
+from repro.runtime.base import ExecContext
+from repro.runtime.workstealing import StealingScheduler
+from repro.sim.costs import GCC_COSTS
+
+__all__ = ["RUNTIMES", "compare_task_runtimes", "render_comparison"]
+
+RUNTIMES = ("cilk", "intel_omp", "gcc_libgomp")
+
+
+def _run(runtime: str, graph, nthreads: int, ctx: ExecContext) -> float:
+    if runtime == "cilk":
+        sched = StealingScheduler(graph, nthreads, ctx, deque="the")
+    elif runtime == "intel_omp":
+        sched = StealingScheduler(
+            graph, nthreads, ctx, deque="locked", undeferred_single=True
+        )
+    elif runtime == "gcc_libgomp":
+        gcc_ctx = replace(ctx, costs=GCC_COSTS)
+        sched = StealingScheduler(
+            graph,
+            nthreads,
+            gcc_ctx,
+            deque="locked",
+            central_queue=True,
+            undeferred_single=True,
+        )
+    else:
+        raise ValueError(f"unknown runtime {runtime!r}; expected one of {RUNTIMES}")
+    return sched.run().time
+
+
+def compare_task_runtimes(
+    ctx: Optional[ExecContext] = None,
+    *,
+    n: int = 20,
+    threads: Sequence[int] = (1, 2, 4, 8, 16, 36),
+    runtimes: Sequence[str] = RUNTIMES,
+) -> dict[str, list[float]]:
+    """fib(n) through each runtime implementation; times per thread count.
+
+    Fresh graphs per run keep the schedulers independent.
+    """
+    ctx = ctx or ExecContext()
+    out: dict[str, list[float]] = {}
+    for runtime in runtimes:
+        times = []
+        for p in threads:
+            times.append(_run(runtime, fib.graph(n), p, ctx))
+        out[runtime] = times
+    return out
+
+
+def render_comparison(
+    results: dict[str, list[float]], threads: Sequence[int], n: int
+) -> str:
+    lines = [f"fib({n}) across task-runtime implementations"]
+    lines.append(f"{'runtime':<14}" + "".join(f"{'p=' + str(p):>11}" for p in threads))
+    for runtime, times in results.items():
+        cells = "".join(f"{t * 1e3:9.2f}ms" for t in times)
+        lines.append(f"{runtime:<14}{cells}")
+    return "\n".join(lines)

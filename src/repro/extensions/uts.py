@@ -1,0 +1,137 @@
+"""Unbalanced Tree Search (UTS) — the load-balancing stress test.
+
+The paper's related work cites Olivier & Prins's UTS comparison of
+OpenMP/Cilk/TBB task runtimes ("only the Intel compiler illustrates
+good load balancing on UTS").  UTS counts the nodes of an implicitly
+defined random tree whose shape is *unknowable in advance*: a static
+partition of the root's subtrees is grossly imbalanced, while a work
+stealer rebalances as the tree unfolds.
+
+The tree here is a geometric UTS variant: the root has ``b0``
+children; every other node has ``m`` children with probability ``q``.
+Like the real UTS workloads, the branching process is slightly
+supercritical (``q * m`` just above 1) so the tree grows to the
+``max_nodes`` cap with high subtree-size variance — the imbalance that
+makes the benchmark interesting.  Generation is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.models import cilk, cxx11, openmp, tbb
+from repro.sim.machine import Machine
+from repro.sim.task import IterSpace, Program, TaskGraph
+
+__all__ = ["UTSTree", "generate_tree", "program", "VERSIONS"]
+
+VERSIONS = ("omp_task", "cilk_spawn", "tbb_task", "cxx_static")
+
+NODE_WORK = 1.2e-6  # one SHA-1-ish hash evaluation per node (UTS spec)
+
+
+@dataclass(frozen=True)
+class UTSTree:
+    """An unfolded UTS tree: parent index per node (root = -1)."""
+
+    parents: tuple[int, ...]
+    root_children: int
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.parents)
+
+    def subtree_sizes(self) -> np.ndarray:
+        """Node count of the subtree rooted at every node."""
+        sizes = np.ones(self.n_nodes, dtype=np.int64)
+        # children are appended after parents, so reverse order accumulates
+        for i in range(self.n_nodes - 1, 0, -1):
+            sizes[self.parents[i]] += sizes[i]
+        return sizes
+
+
+def generate_tree(
+    *,
+    b0: int = 8,
+    q: float = 0.53,
+    m: int = 2,
+    seed: int = 19,
+    max_nodes: int = 200_000,
+) -> UTSTree:
+    """Unfold a geometric UTS tree breadth-first (deterministic)."""
+    if b0 < 1 or m < 1:
+        raise ValueError("b0 and m must be >= 1")
+    if not 0.0 <= q < 1.0:
+        raise ValueError("q must be in [0, 1)")
+    if max_nodes < 1:
+        raise ValueError("max_nodes must be >= 1")
+    rng = random.Random(seed)
+    parents = [-1]
+    frontier: deque[int] = deque()
+    for _ in range(b0):
+        parents.append(0)
+        frontier.append(len(parents) - 1)
+    while frontier and len(parents) < max_nodes:
+        node = frontier.popleft()
+        if rng.random() < q:
+            for _ in range(m):
+                parents.append(node)
+                frontier.append(len(parents) - 1)
+    return UTSTree(tuple(parents), b0)
+
+
+def _task_graph(tree: UTSTree) -> TaskGraph:
+    g = TaskGraph(f"uts[{tree.n_nodes}]")
+    for parent in tree.parents:
+        g.add(NODE_WORK, deps=(parent,) if parent >= 0 else (), tag="node")
+    return g
+
+
+def _static_profile(tree: UTSTree) -> IterSpace:
+    """The static-partition strawman: the root's ``b0`` subtrees are the
+    only units a static scheduler can see, and their sizes are wildly
+    unequal."""
+    sizes = tree.subtree_sizes()
+    top = [i for i, p in enumerate(tree.parents) if p == 0]
+    works = np.array([sizes[i] * NODE_WORK for i in top])
+    return IterSpace.from_profile(works, max_blocks=len(works), name="uts-subtrees")
+
+
+def program(
+    version: str,
+    *,
+    machine: Machine,
+    b0: int = 8,
+    q: float = 0.53,
+    m: int = 2,
+    seed: int = 19,
+    max_nodes: int = 200_000,
+) -> Program:
+    """UTS in a task-parallel version or the static strawman.
+
+    ``cxx_static`` distributes the root's subtrees as manual chunks over
+    bare threads — the best a runtime without dynamic load balancing
+    can do on an unpredictable tree.
+    """
+    tree = generate_tree(b0=b0, q=q, m=m, seed=seed, max_nodes=max_nodes)
+    prog = Program(
+        f"uts(n={tree.n_nodes})",
+        meta={"version": version, "workload": "uts", "n_nodes": tree.n_nodes},
+    )
+    if version == "omp_task":
+        prog.add(openmp.task_graph(_task_graph(tree), name="uts-omp"))
+    elif version == "cilk_spawn":
+        prog.add(cilk.spawn_graph(_task_graph(tree), name="uts-cilk"))
+    elif version == "tbb_task":
+        prog.add(tbb.task_spawn_graph(_task_graph(tree), name="uts-tbb"))
+    elif version == "cxx_static":
+        space = _static_profile(tree)
+        prog.add(cxx11.thread_for(space, nchunks=space.niter))
+    else:
+        raise ValueError(f"unknown UTS version {version!r}; expected one of {VERSIONS}")
+    return prog

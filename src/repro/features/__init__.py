@@ -1,0 +1,41 @@
+"""Feature database: the paper's Tables I, II and III as queryable data.
+
+Section II of the paper categorizes threading-API features (parallelism
+patterns, memory-hierarchy abstraction, synchronization, mutual
+exclusion, error handling / tools / language bindings); section III
+compares eight models cell by cell.  This package encodes every cell:
+
+- :mod:`repro.features.model` — the schema (:class:`FeatureSet`, one
+  instance per programming model);
+- :mod:`repro.features.data` — the eight models' entries, transcribed
+  from the paper;
+- :mod:`repro.features.tables` — paper-style renderers for Tables
+  I/II/III;
+- :mod:`repro.features.query` — the "guide for users to choose the
+  APIs" — filters and recommendations over the database.
+"""
+
+from repro.features.data import ALL_MODELS, MODELS, get_model
+from repro.features.model import FeatureSet, Support
+from repro.features.query import (
+    compare,
+    models_supporting,
+    recommend,
+    support_matrix,
+)
+from repro.features.tables import render_table1, render_table2, render_table3
+
+__all__ = [
+    "ALL_MODELS",
+    "MODELS",
+    "FeatureSet",
+    "Support",
+    "compare",
+    "get_model",
+    "models_supporting",
+    "recommend",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "support_matrix",
+]

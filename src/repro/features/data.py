@@ -1,0 +1,223 @@
+"""The eight threading models' feature entries (Tables I-III).
+
+Cell text is transcribed from the paper; each entry also carries the
+section III.B runtime characterization.
+"""
+
+from __future__ import annotations
+
+from repro.features.model import FeatureSet, Support
+
+__all__ = ["MODELS", "ALL_MODELS", "get_model"]
+
+_Y = Support.yes
+_N = Support.no
+_NA = Support.na
+
+
+CILK_PLUS = FeatureSet(
+    name="Cilk Plus",
+    data_parallelism=_Y("cilk_for, array operations, elemental functions"),
+    task_parallelism=_Y("cilk_spawn/cilk_sync"),
+    data_event_driven=_N(),
+    offloading=_N("host only"),
+    memory_hierarchy=_N(),
+    data_binding=_N(),
+    data_movement=_NA("N/A (host only)"),
+    barrier=_Y("implicit for cilk_for only"),
+    reduction=_Y("reducers"),
+    join=_Y("cilk_sync"),
+    mutual_exclusion=_Y("containers, mutex, atomic"),
+    language="C/C++ elidable language extension",
+    error_handling=_N(),
+    tool_support=_Y("Cilkscreen, Cilkview"),
+    scheduling="random work stealing (THE-protocol deques), work-first",
+    category="task-based model for multi-core shared memory",
+)
+
+CUDA = FeatureSet(
+    name="CUDA",
+    data_parallelism=_Y("<<<--->>> kernel launch"),
+    task_parallelism=_Y("async kernel launching and memcpy"),
+    data_event_driven=_Y("stream"),
+    offloading=_Y("device only"),
+    memory_hierarchy=_Y("blocks/threads, shared memory"),
+    data_binding=_N(),
+    data_movement=_Y("cudaMemcpy function"),
+    barrier=_Y("__syncthreads"),
+    reduction=_N(),
+    join=_N(),
+    mutual_exclusion=_Y("atomic"),
+    language="C/C++ extensions",
+    error_handling=_N(),
+    tool_support=_Y("CUDA profiling tools"),
+    scheduling="hardware thread-block scheduler on the GPU",
+    category="low-level interface for NVIDIA GPUs",
+)
+
+CXX11 = FeatureSet(
+    name="C++11",
+    data_parallelism=_N(),
+    task_parallelism=_Y("std::thread, std::async/future"),
+    data_event_driven=_Y("std::future"),
+    offloading=_N("host only"),
+    memory_hierarchy=_N("x (but memory consistency model)"),
+    data_binding=_N(),
+    data_movement=_NA("N/A (host only)"),
+    barrier=_N(),
+    reduction=_N(),
+    join=_Y("std::join, std::future"),
+    mutual_exclusion=_Y("std::mutex, atomic"),
+    language="C++",
+    error_handling=_Y("C++ exception"),
+    tool_support=_Y("System tools"),
+    scheduling="none: std::thread maps ~1:1 to PThreads; user balances load",
+    category="baseline language API for core threading functionality",
+)
+
+OPENACC = FeatureSet(
+    name="OpenACC",
+    data_parallelism=_Y("kernel/parallel"),
+    task_parallelism=_Y("async/wait"),
+    data_event_driven=_Y("wait"),
+    offloading=_Y("device only (acc)"),
+    memory_hierarchy=_Y("cache, gang/worker/vector"),
+    data_binding=_N(),
+    data_movement=_Y("data copy/copyin/copyout"),
+    barrier=_N(),
+    reduction=_Y("reduction"),
+    join=_Y("wait"),
+    mutual_exclusion=_Y("atomic"),
+    language="directives for C/C++ and Fortran",
+    error_handling=_N(),
+    tool_support=_Y("System/vendor tools"),
+    scheduling="compiler/runtime mapping of gangs/workers/vectors to device",
+    category="high-level offloading interface for manycore accelerators",
+)
+
+OPENCL = FeatureSet(
+    name="OpenCL",
+    data_parallelism=_Y("kernel"),
+    task_parallelism=_Y("clEnqueueTask()"),
+    data_event_driven=_Y("pipe, general DAG"),
+    offloading=_Y("host and device"),
+    memory_hierarchy=_Y("work_group/item"),
+    data_binding=_N(),
+    data_movement=_Y("buffer Write function"),
+    barrier=_Y("work_group_barrier"),
+    reduction=_Y("work_group_reduction"),
+    join=_N(),
+    mutual_exclusion=_Y("atomic"),
+    language="C/C++ extensions",
+    error_handling=_Y("exceptions"),
+    tool_support=_Y("System/vendor tools"),
+    scheduling="command queues + device runtime; portable across vendors",
+    category="low-level interface for manycore and accelerator architectures",
+)
+
+OPENMP = FeatureSet(
+    name="OpenMP",
+    data_parallelism=_Y("parallel for, simd, distribute"),
+    task_parallelism=_Y("task/taskwait"),
+    data_event_driven=_Y("depend (in/out/inout)"),
+    offloading=_Y("host and device (target)"),
+    memory_hierarchy=_Y("OMP_PLACES, teams and distribute"),
+    data_binding=_Y("proc_bind clause"),
+    data_movement=_Y("map(to/from/tofrom/alloc)"),
+    barrier=_Y("barrier, implicit for parallel/for"),
+    reduction=_Y("reduction clause"),
+    join=_Y("taskwait"),
+    mutual_exclusion=_Y("locks, critical, atomic, single, master"),
+    language="directives for C/C++ and Fortran",
+    error_handling=_Y("omp cancel"),
+    tool_support=_Y("OMP Tool interface"),
+    scheduling=(
+        "fork-join + worksharing for loops; work-stealing (work-first/"
+        "breadth-first, lock-based deques) for tasks"
+    ),
+    category="comprehensive standard covering all listed feature groups",
+)
+
+PTHREADS = FeatureSet(
+    name="PThreads",
+    data_parallelism=_N(),
+    task_parallelism=_Y("pthread_create/join"),
+    data_event_driven=_N(),
+    offloading=_N("host only"),
+    memory_hierarchy=_N(),
+    data_binding=_N(),
+    data_movement=_NA("N/A (host only)"),
+    barrier=_Y("pthread_barrier"),
+    reduction=_N(),
+    join=_Y("pthread_join"),
+    mutual_exclusion=_Y("pthread_mutex, pthread_cond"),
+    language="C library",
+    error_handling=_Y("pthread_cancel"),
+    tool_support=_Y("System tools"),
+    scheduling="none: kernel threads, user schedules and balances",
+    category="baseline library API for core threading functionality",
+)
+
+TBB = FeatureSet(
+    name="TBB",
+    data_parallelism=_Y("parallel_for/while/do, etc"),
+    task_parallelism=_Y("task::spawn/wait"),
+    data_event_driven=_Y("pipeline, parallel_pipeline, general DAG (flow::graph)"),
+    offloading=_N("host only"),
+    memory_hierarchy=_N(),
+    data_binding=_Y("affinity_partitioner"),
+    data_movement=_NA("N/A (host only)"),
+    barrier=_NA("N/A (tasking)"),
+    reduction=_Y("parallel_reduce"),
+    join=_Y("wait"),
+    mutual_exclusion=_Y("containers, mutex, atomic"),
+    language="C++ library",
+    error_handling=_Y("cancellation and exception"),
+    tool_support=_Y("System tools"),
+    scheduling="random work stealing over per-worker deques",
+    category="task-based library for multi-core shared memory",
+)
+
+
+#: Paper ordering (alphabetical, as in Tables I-III).
+ALL_MODELS: tuple[FeatureSet, ...] = (
+    CILK_PLUS,
+    CUDA,
+    CXX11,
+    OPENACC,
+    OPENCL,
+    OPENMP,
+    PTHREADS,
+    TBB,
+)
+
+MODELS: dict[str, FeatureSet] = {m.name: m for m in ALL_MODELS}
+
+_ALIASES = {
+    "cilk": "Cilk Plus",
+    "cilk plus": "Cilk Plus",
+    "cilkplus": "Cilk Plus",
+    "cuda": "CUDA",
+    "c++11": "C++11",
+    "cxx11": "C++11",
+    "c++": "C++11",
+    "openacc": "OpenACC",
+    "opencl": "OpenCL",
+    "openmp": "OpenMP",
+    "omp": "OpenMP",
+    "pthreads": "PThreads",
+    "pthread": "PThreads",
+    "posix threads": "PThreads",
+    "tbb": "TBB",
+    "intel tbb": "TBB",
+}
+
+
+def get_model(name: str) -> FeatureSet:
+    """Look up a model by name (case-insensitive, common aliases)."""
+    if name in MODELS:
+        return MODELS[name]
+    key = _ALIASES.get(name.strip().lower())
+    if key is None:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODELS)}")
+    return MODELS[key]

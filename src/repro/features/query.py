@@ -1,0 +1,69 @@
+"""Queries over the feature database — the paper's "guide for users to
+choose the APIs for their applications".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.features.data import ALL_MODELS, get_model
+from repro.features.model import FEATURE_FIELDS, FeatureSet
+
+__all__ = ["models_supporting", "compare", "support_matrix", "recommend"]
+
+
+def models_supporting(
+    feature: str, models: Sequence[FeatureSet] = ALL_MODELS
+) -> list[FeatureSet]:
+    """All models that support ``feature`` (a FEATURE_FIELDS name)."""
+    if feature not in FEATURE_FIELDS:
+        raise KeyError(f"unknown feature {feature!r}; known: {FEATURE_FIELDS}")
+    return [m for m in models if m.supports(feature)]
+
+
+def compare(names: Iterable[str], features: Optional[Sequence[str]] = None) -> str:
+    """Side-by-side textual comparison of the named models."""
+    models = [get_model(n) for n in names]
+    feats = tuple(features) if features is not None else FEATURE_FIELDS
+    for f in feats:
+        if f not in FEATURE_FIELDS:
+            raise KeyError(f"unknown feature {f!r}")
+    width = max(len(f) for f in feats) + 2
+    colw = max(max((len(m.name) for m in models), default=8) + 2, 26)
+    lines = [" " * width + "".join(f"{m.name:<{colw}}" for m in models)]
+    for f in feats:
+        cells = [getattr(m, f).cell()[: colw - 2] for m in models]
+        lines.append(f"{f:<{width}}" + "".join(f"{c:<{colw}}" for c in cells))
+    return "\n".join(lines)
+
+
+def support_matrix(
+    models: Sequence[FeatureSet] = ALL_MODELS,
+) -> dict[str, dict[str, bool]]:
+    """{model name: {feature: supported}} over all feature fields."""
+    return {m.name: {f: m.supports(f) for f in FEATURE_FIELDS} for m in models}
+
+
+def recommend(
+    required: Sequence[str],
+    preferred: Sequence[str] = (),
+    models: Sequence[FeatureSet] = ALL_MODELS,
+) -> list[tuple[FeatureSet, int]]:
+    """Rank models for a set of required and preferred features.
+
+    Models missing any required feature are excluded; the rest are
+    ranked by how many preferred features they support (ties broken by
+    total feature count, mirroring the paper's observation that OpenMP
+    is the most comprehensive model).
+    """
+    for f in tuple(required) + tuple(preferred):
+        if f not in FEATURE_FIELDS:
+            raise KeyError(f"unknown feature {f!r}; known: {FEATURE_FIELDS}")
+    out = []
+    for m in models:
+        if all(m.supports(f) for f in required):
+            score = sum(m.supports(f) for f in preferred)
+            total = sum(m.supports(f) for f in FEATURE_FIELDS)
+            out.append((m, score, total))
+    out.sort(key=lambda t: (-t[1], -t[2], t[0].name))
+    return [(m, score) for m, score, _total in out]

@@ -1,0 +1,139 @@
+"""Paper-style renderers for Tables I, II and III.
+
+Each ``render_tableN`` returns the table as a string whose rows and
+cells match the paper's; ``tableN_rows`` returns the underlying data
+for programmatic use (and for the benchmark assertions).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Iterable, Sequence
+
+from repro.features.data import ALL_MODELS
+from repro.features.model import FeatureSet
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "format_grid",
+]
+
+
+def format_grid(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    widths: Sequence[int],
+    title: str = "",
+) -> str:
+    """Render a wrapped ASCII grid with fixed column widths."""
+    if len(headers) != len(widths):
+        raise ValueError("headers and widths must have the same length")
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+
+    def emit(cells: Sequence[str]) -> None:
+        wrapped = [
+            textwrap.wrap(str(c), width=w) or [""] for c, w in zip(cells, widths)
+        ]
+        height = max(len(col) for col in wrapped)
+        for line in range(height):
+            parts = []
+            for col, w in zip(wrapped, widths):
+                text = col[line] if line < len(col) else ""
+                parts.append(f" {text:<{w}} ")
+            out.append("|" + "|".join(parts) + "|")
+        out.append(sep)
+
+    emit(headers)
+    for row in rows:
+        if len(row) != len(widths):
+            raise ValueError("row width mismatch")
+        emit(row)
+    return "\n".join(out)
+
+
+def table1_rows(models: Sequence[FeatureSet] = ALL_MODELS) -> list[list[str]]:
+    """Rows of Table I: parallelism patterns."""
+    return [
+        [
+            m.name,
+            m.data_parallelism.cell(),
+            m.task_parallelism.cell(),
+            m.data_event_driven.cell(),
+            m.offloading.cell(),
+        ]
+        for m in models
+    ]
+
+
+def render_table1(models: Sequence[FeatureSet] = ALL_MODELS) -> str:
+    return format_grid(
+        ["Model", "Data parallelism", "Async task parallelism", "Data/event-driven", "Offloading"],
+        table1_rows(models),
+        [10, 24, 24, 22, 18],
+        title="TABLE I: Comparison of Parallelism",
+    )
+
+
+def table2_rows(models: Sequence[FeatureSet] = ALL_MODELS) -> list[list[str]]:
+    """Rows of Table II: memory abstraction and synchronization."""
+    return [
+        [
+            m.name,
+            m.memory_hierarchy.cell(),
+            m.data_binding.cell(),
+            m.data_movement.cell(),
+            m.barrier.cell(),
+            m.reduction.cell(),
+            m.join.cell(),
+        ]
+        for m in models
+    ]
+
+
+def render_table2(models: Sequence[FeatureSet] = ALL_MODELS) -> str:
+    return format_grid(
+        [
+            "Model",
+            "Abstraction of memory hierarchy",
+            "Data/computation binding",
+            "Explicit data map/movement",
+            "Barrier",
+            "Reduction",
+            "Join",
+        ],
+        table2_rows(models),
+        [10, 20, 18, 18, 16, 14, 14],
+        title="TABLE II: Comparison of Abstractions of Memory Hierarchy and Synchronizations",
+    )
+
+
+def table3_rows(models: Sequence[FeatureSet] = ALL_MODELS) -> list[list[str]]:
+    """Rows of Table III: mutual exclusion, language, errors, tools."""
+    return [
+        [
+            m.name,
+            m.mutual_exclusion.cell(),
+            m.language,
+            m.error_handling.cell(),
+            m.tool_support.cell(),
+        ]
+        for m in models
+    ]
+
+
+def render_table3(models: Sequence[FeatureSet] = ALL_MODELS) -> str:
+    return format_grid(
+        ["Model", "Mutual exclusion", "Language or library", "Error handling", "Tool support"],
+        table3_rows(models),
+        [10, 26, 24, 18, 20],
+        title="TABLE III: Comparison of Mutual Exclusions and Others",
+    )

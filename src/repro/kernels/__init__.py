@@ -1,0 +1,32 @@
+"""Benchmark kernels from section IV.A of the paper.
+
+Five kernels, each buildable in the six versions (data- and
+task-parallel for OpenMP, Cilk Plus, C++11):
+
+==========  ==================  =====================================
+kernel      paper problem size  figure
+==========  ==================  =====================================
+Axpy        N = 100M            Fig. 1 — cilk_for ~2x worse
+Sum         N = 100M            Fig. 2 — omp_task best, ~5x over cilk_for
+Matvec      40k x 40k           Fig. 3 — cilk_for ~25% worse
+Matmul      2k x 2k             Fig. 4 — cilk_for ~10% worse
+Fibonacci   n = 40 (task only)  Fig. 5 — cilk_spawn ~20% better
+==========  ==================  =====================================
+
+Each module exposes ``program(version, ...) -> Program`` for the
+simulator and a numpy reference implementation for functional checks.
+"""
+
+from repro.kernels import axpy, fib, matmul, matvec, sumreduce
+from repro.kernels.common import KERNELS, build_kernel_program, kernel_module
+
+__all__ = [
+    "axpy",
+    "fib",
+    "matmul",
+    "matvec",
+    "sumreduce",
+    "KERNELS",
+    "build_kernel_program",
+    "kernel_module",
+]

@@ -1,0 +1,54 @@
+"""Axpy kernel: ``y = a * x + y`` (Fig. 1).
+
+Paper size N = 100M doubles.  Per iteration: one FMA (2 FLOPs) and
+24 bytes of traffic (load x, load y, store y), perfectly streaming —
+the kernel is memory-bandwidth bound almost from one core, which is why
+all versions plateau and why the cilk_for placement penalty shows up as
+a ~2x gap.
+
+The paper's C++11 versions have recursive and iterative variants with a
+cut-off ``BASE = N / nthreads``; the builders here use that cut-off
+(one chunk per thread).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.kernels import common
+from repro.sim.machine import Machine
+from repro.sim.task import IterSpace, Program
+
+__all__ = ["PAPER_N", "space", "program", "reference"]
+
+PAPER_N = 100_000_000
+
+FLOPS_PER_ITER = 2
+BYTES_PER_ITER = 24  # read x, read y, write y (doubles)
+
+
+def space(machine: Machine, n: int = PAPER_N) -> IterSpace:
+    """Iteration space of the Axpy loop."""
+    work = common.op_seconds(machine, FLOPS_PER_ITER, ipc=8.0)
+    return IterSpace.uniform(n, work, BYTES_PER_ITER, locality=1.0, name="axpy")
+
+
+def program(version: str, *, machine: Machine, n: int = PAPER_N) -> Program:
+    """The Axpy benchmark in one of the six versions."""
+    region = common.dispatch_loop(version, space(machine, n))
+    prog = Program(f"axpy(n={n})", meta={"version": version, "kernel": "axpy", "n": n})
+    return prog.add(region)
+
+
+def reference(a: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Functional reference: returns ``a * x + y`` without mutating inputs."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape")
+    return a * x + y
+
+
+common._register("axpy", sys.modules[__name__])

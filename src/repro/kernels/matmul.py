@@ -1,0 +1,57 @@
+"""Matmul kernel: dense matrix multiply, 2k x 2k (Fig. 4).
+
+The parallel loop runs over rows of C; each iteration computes one
+output row: ``2 n^2`` FLOPs against modest memory traffic (the B
+operand is reused out of cache with blocking, modelled by a reuse
+factor).  The kernel is compute bound, so scheduling and placement
+differences shrink — the paper reports cilk_for only ~10% worse and
+notes "as the computation intensity increases ... we see less impact of
+runtime scheduling to the performance".
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.kernels import common
+from repro.sim.machine import Machine
+from repro.sim.task import IterSpace, Program
+
+__all__ = ["PAPER_N", "CACHE_REUSE", "space", "program", "reference"]
+
+PAPER_N = 2048
+
+CACHE_REUSE = 64
+"""Average reuse of B-operand cache lines under register/L2 blocking;
+divides the naive n^2-per-row B traffic."""
+
+
+def space(machine: Machine, n: int = PAPER_N) -> IterSpace:
+    """Iteration space over output rows."""
+    flops_per_row = 2 * n * n
+    bytes_per_row = 8 * (2 * n + n * n / CACHE_REUSE)  # A row + C row + shared B
+    work = common.op_seconds(machine, flops_per_row, ipc=8.0)
+    return IterSpace.uniform(n, work, bytes_per_row, locality=1.0, name="matmul")
+
+
+def program(version: str, *, machine: Machine, n: int = PAPER_N) -> Program:
+    """The Matmul benchmark in one of the six versions."""
+    region = common.dispatch_loop(version, space(machine, n))
+    prog = Program(
+        f"matmul(n={n})", meta={"version": version, "kernel": "matmul", "n": n}
+    )
+    return prog.add(region)
+
+
+def reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Functional reference: ``a @ b``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("shape mismatch for matrix product")
+    return a @ b
+
+
+common._register("matmul", sys.modules[__name__])

@@ -1,0 +1,53 @@
+"""Sum kernel: ``s = sum(a * X[i])`` — a worksharing + reduction (Fig. 2).
+
+Paper size N = 100M.  Per iteration: one FMA and 8 bytes read.  The
+reduction is the interesting part:
+
+- ``omp_for``: ``reduction(+:s)`` clause — thread-private partials
+  combined at the barrier;
+- ``omp_task``: task-private partials, one atomic accumulate per task
+  at task end, ``taskwait`` instead of a full barrier — the paper's
+  winner;
+- ``cilk_for``: a reducer hyperobject, paying a hypermap access on
+  every ``+=`` in the loop body plus view creation per steal and view
+  merges at the sync — "around five times" slower than ``omp task``;
+- ``cilk_spawn`` / C++11: manual chunk-local partials, cheap combine.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.kernels import common
+from repro.sim.machine import Machine
+from repro.sim.task import IterSpace, Program
+
+__all__ = ["PAPER_N", "space", "program", "reference"]
+
+PAPER_N = 100_000_000
+
+FLOPS_PER_ITER = 2
+BYTES_PER_ITER = 8  # read X[i]
+
+
+def space(machine: Machine, n: int = PAPER_N) -> IterSpace:
+    """Iteration space of the Sum loop."""
+    work = common.op_seconds(machine, FLOPS_PER_ITER, ipc=8.0)
+    return IterSpace.uniform(n, work, BYTES_PER_ITER, locality=1.0, name="sum")
+
+
+def program(version: str, *, machine: Machine, n: int = PAPER_N) -> Program:
+    """The Sum benchmark in one of the six versions."""
+    region = common.dispatch_loop(version, space(machine, n), reduction=True)
+    prog = Program(f"sum(n={n})", meta={"version": version, "kernel": "sum", "n": n})
+    return prog.add(region)
+
+
+def reference(a: float, x: np.ndarray) -> float:
+    """Functional reference: ``sum(a * x)``."""
+    return float(a * np.asarray(x, dtype=np.float64).sum())
+
+
+common._register("sum", sys.modules[__name__])

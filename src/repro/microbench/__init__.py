@@ -1,0 +1,38 @@
+"""EPCC-style runtime-overhead microbenchmarks.
+
+The paper's runtime discussion (section III.B) is about *overheads*:
+what a fork costs, what a barrier costs, what creating a task costs on
+a lock-based vs. THE-protocol deque, how dynamic chunk dispatch
+serializes.  This package measures those quantities from the simulated
+runtimes the same way the EPCC OpenMP microbenchmark suite measures
+them from real ones: run the construct around a known amount of work
+and subtract the ideal time.
+
+The measured numbers should (and do — see ``tests/test_microbench.py``)
+reconcile with the :class:`~repro.sim.costs.CostModel` constants they
+are derived from; the point of measuring through the executors is that
+contention and serialization effects are included, exactly as on real
+hardware.
+"""
+
+from repro.microbench.overheads import (
+    OverheadReport,
+    barrier_overhead,
+    for_overhead,
+    parallel_overhead,
+    render_report,
+    run_suite,
+    schedule_overhead,
+    task_overhead,
+)
+
+__all__ = [
+    "OverheadReport",
+    "barrier_overhead",
+    "for_overhead",
+    "parallel_overhead",
+    "render_report",
+    "run_suite",
+    "schedule_overhead",
+    "task_overhead",
+]

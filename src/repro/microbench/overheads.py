@@ -1,0 +1,150 @@
+"""Overhead measurements over the simulated runtimes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.runtime.base import ExecContext
+from repro.runtime.worksharing import run_worksharing_loop
+from repro.runtime.workstealing import StealingScheduler
+from repro.sim.task import IterSpace, TaskGraph
+
+__all__ = [
+    "parallel_overhead",
+    "for_overhead",
+    "barrier_overhead",
+    "schedule_overhead",
+    "task_overhead",
+    "OverheadReport",
+    "run_suite",
+    "render_report",
+]
+
+#: reference per-iteration work for the measured loops (big enough to
+#: dominate rounding, small enough that overheads are visible)
+_ITER_WORK = 100e-9
+
+
+def _balanced_space(nthreads: int, iters_per_thread: int = 64) -> IterSpace:
+    return IterSpace.uniform(nthreads * iters_per_thread, _ITER_WORK)
+
+
+def parallel_overhead(nthreads: int, ctx: Optional[ExecContext] = None) -> float:
+    """Cost of entering+exiting one parallel region (EPCC ``parallel``).
+
+    Measured as the region time minus the perfectly-balanced loop body.
+    """
+    ctx = ctx or ExecContext()
+    space = _balanced_space(nthreads)
+    res = run_worksharing_loop(space, nthreads, ctx)
+    ideal = space.total_work / nthreads
+    return max(0.0, res.time - ideal)
+
+
+def barrier_overhead(nthreads: int, ctx: Optional[ExecContext] = None) -> float:
+    """Cost of the end-of-loop barrier alone (EPCC ``barrier``)."""
+    ctx = ctx or ExecContext()
+    space = _balanced_space(nthreads)
+    with_barrier = run_worksharing_loop(space, nthreads, ctx, fork=False, barrier=True)
+    without = run_worksharing_loop(space, nthreads, ctx, fork=False, barrier=False)
+    return max(0.0, with_barrier.time - without.time)
+
+
+def for_overhead(
+    nthreads: int, ctx: Optional[ExecContext] = None, schedule: str = "static"
+) -> float:
+    """Cost of worksharing a loop (EPCC ``for``): region time minus the
+    ideal body time, without the fork/barrier terms."""
+    ctx = ctx or ExecContext()
+    space = _balanced_space(nthreads)
+    chunk = None if schedule == "static" else max(1, space.niter // (8 * nthreads))
+    res = run_worksharing_loop(
+        space, nthreads, ctx, schedule=schedule, chunk=chunk, fork=False, barrier=False
+    )
+    ideal = space.total_work / nthreads
+    return max(0.0, res.time - ideal)
+
+
+def schedule_overhead(
+    nthreads: int, ctx: Optional[ExecContext] = None
+) -> dict[str, float]:
+    """``for`` overhead per schedule kind (EPCC ``schedbench``)."""
+    return {
+        sched: for_overhead(nthreads, ctx, schedule=sched)
+        for sched in ("static", "dynamic", "guided")
+    }
+
+
+def task_overhead(
+    nthreads: int,
+    ctx: Optional[ExecContext] = None,
+    *,
+    deque: str = "locked",
+    ntasks_per_thread: int = 64,
+    task_work: float = 1e-6,
+) -> float:
+    """Per-task scheduling overhead (EPCC ``taskbench``).
+
+    Spawns ``p x ntasks_per_thread`` independent tasks of known work and
+    charges everything beyond the ideal makespan to per-task overhead.
+    ``deque="locked"`` measures the OpenMP runtime, ``"the"`` Cilk Plus.
+    """
+    ctx = ctx or ExecContext()
+    n = nthreads * ntasks_per_thread
+    g = TaskGraph("taskbench")
+    for _ in range(n):
+        g.add(task_work)
+    res = StealingScheduler(g, nthreads, ctx, deque=deque).run()
+    ideal = g.total_work() / nthreads
+    return max(0.0, (res.time - ideal) * nthreads / n)
+
+
+@dataclass
+class OverheadReport:
+    """Overheads (seconds) across a thread sweep."""
+
+    threads: tuple[int, ...]
+    rows: dict[str, list[float]] = field(default_factory=dict)
+
+    def add(self, name: str, values: Sequence[float]) -> None:
+        if len(values) != len(self.threads):
+            raise ValueError("values must align with the thread sweep")
+        self.rows[name] = list(values)
+
+
+def run_suite(
+    threads: Sequence[int] = (1, 2, 4, 8, 16, 32, 36),
+    ctx: Optional[ExecContext] = None,
+) -> OverheadReport:
+    """The full overhead suite across a thread sweep."""
+    ctx = ctx or ExecContext()
+    threads = tuple(threads)
+    report = OverheadReport(threads)
+    report.add("parallel (fork+barrier)", [parallel_overhead(p, ctx) for p in threads])
+    report.add("barrier", [barrier_overhead(p, ctx) for p in threads])
+    report.add("for static", [for_overhead(p, ctx, "static") for p in threads])
+    report.add("for dynamic", [for_overhead(p, ctx, "dynamic") for p in threads])
+    report.add("for guided", [for_overhead(p, ctx, "guided") for p in threads])
+    report.add(
+        "task / omp (locked deque)",
+        [task_overhead(p, ctx, deque="locked") for p in threads],
+    )
+    report.add(
+        "task / cilk (THE deque)",
+        [task_overhead(p, ctx, deque="the") for p in threads],
+    )
+    return report
+
+
+def render_report(report: OverheadReport) -> str:
+    """EPCC-style table: microseconds of overhead per construct."""
+    name_w = max(len(n) for n in report.rows) + 2
+    lines = [
+        "Runtime overheads (us), EPCC-style measurement over the simulator",
+        f"{'construct':<{name_w}}" + "".join(f"{'p=' + str(p):>9}" for p in report.threads),
+    ]
+    for name, values in report.rows.items():
+        cells = "".join(f"{v * 1e6:9.3f}" for v in values)
+        lines.append(f"{name:<{name_w}}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Programming-model front-end APIs.
+
+Each module mirrors the surface of one of the three models the paper
+benchmarks, expressed as region builders over the workload IR:
+
+- :mod:`repro.models.openmp` — ``parallel for`` (worksharing with
+  static/dynamic/guided schedules, reduction clause), ``task`` /
+  ``taskwait`` (lock-based work-stealing deques, undeferred at one
+  thread);
+- :mod:`repro.models.cilk` — ``cilk_for`` (recursive splitter tree on
+  THE-protocol work stealing), ``cilk_spawn``/``cilk_sync``, reducer
+  hyperobjects;
+- :mod:`repro.models.cxx11` — ``std::thread`` and ``std::async`` with
+  manual chunking and the BASE cut-off.
+
+The six-version scheme of the paper's evaluation (data- and
+task-parallel versions per model) maps to:
+
+======================  =====================================
+version name             builder
+======================  =====================================
+``omp_for``              :func:`openmp.parallel_for`
+``omp_task``             :func:`openmp.task_loop` / :func:`openmp.task_graph`
+``cilk_for``             :func:`cilk.cilk_for`
+``cilk_spawn``           :func:`cilk.spawn_loop` / :func:`cilk.spawn_graph`
+``cxx_thread``           :func:`cxx11.thread_for` / :func:`cxx11.thread_graph`
+``cxx_async``            :func:`cxx11.async_for` / :func:`cxx11.async_graph`
+======================  =====================================
+"""
+
+from repro.models import cilk, cuda, cxx11, openacc, opencl, openmp, pthreads, tbb
+
+VERSIONS = ("omp_for", "omp_task", "cilk_for", "cilk_spawn", "cxx_thread", "cxx_async")
+"""Canonical order of the six versions, as used in figures."""
+
+TASK_ONLY_VERSIONS = ("omp_task", "cilk_spawn", "cxx_async")
+"""Versions meaningful for purely recursive task parallelism (Fig. 5)."""
+
+EXTENDED_VERSIONS = VERSIONS + ("tbb_for", "tbb_task", "pthread")
+"""The paper benchmarks six versions; the extension models (TBB,
+PThreads) add comparable variants for workloads that support them."""
+
+__all__ = [
+    "cilk",
+    "cuda",
+    "cxx11",
+    "openacc",
+    "opencl",
+    "openmp",
+    "pthreads",
+    "tbb",
+    "VERSIONS",
+    "TASK_ONLY_VERSIONS",
+    "EXTENDED_VERSIONS",
+]

@@ -1,0 +1,54 @@
+"""CUDA front-end: kernel launches, explicit memcpy, streams.
+
+Table I: CUDA expresses data parallelism as ``<<<grid, block>>>``
+kernel launches, task parallelism as "async kernel launching and
+memcpy", and data/event-driven execution as ``stream``s; Table II:
+explicit movement via ``cudaMemcpy``.  This front-end annotates loop
+regions for the offload executor with exactly those knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.device import Device
+from repro.sim.task import IterSpace, LoopRegion
+
+__all__ = ["kernel_launch", "memcpy_bytes"]
+
+
+def memcpy_bytes(*arrays_bytes: float) -> float:
+    """Total bytes of a set of cudaMemcpy'd buffers (convenience)."""
+    total = 0.0
+    for b in arrays_bytes:
+        if b < 0:
+            raise ValueError("buffer sizes must be non-negative")
+        total += b
+    return total
+
+
+def kernel_launch(
+    space: IterSpace,
+    *,
+    device: Optional[Device] = None,
+    copy_in: float = 0.0,
+    copy_out: float = 0.0,
+    resident: bool = False,
+    stream: bool = False,
+    name: Optional[str] = None,
+) -> LoopRegion:
+    """``kernel<<<grid, block>>>`` over ``space``.
+
+    ``copy_in``/``copy_out`` are the cudaMemcpy traffic around the
+    launch; ``resident=True`` models device-resident buffers (no
+    per-launch copies); ``stream=True`` launches asynchronously so
+    copies overlap the kernel.
+    """
+    params = {
+        "device": device,
+        "to_bytes": copy_in,
+        "from_bytes": copy_out,
+        "resident": resident,
+        "async_overlap": stream,
+    }
+    return LoopRegion(space, "offload", params, name or f"cuda_kernel[{space.name}]")

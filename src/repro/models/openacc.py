@@ -1,0 +1,75 @@
+"""OpenACC front-end: ``parallel``/``kernels`` regions and data clauses.
+
+Table I: OpenACC offers ``kernel/parallel`` data parallelism,
+``async/wait`` tasking, and device-only offloading; Table II: explicit
+movement via ``data copy/copyin/copyout`` and a ``cache`` /
+``gang/worker/vector`` hierarchy.  The distinguishing idiom modelled
+here is the structured **data region**: buffers copied in once, reused
+by many ``parallel`` regions, copied out once — the standard fix for
+transfer-bound offloading.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sim.device import Device
+from repro.sim.task import IterSpace, LoopRegion, Program, SerialRegion
+
+__all__ = ["parallel_region", "data_region"]
+
+
+def parallel_region(
+    space: IterSpace,
+    *,
+    device: Optional[Device] = None,
+    copyin: float = 0.0,
+    copyout: float = 0.0,
+    resident: bool = False,
+    async_: bool = False,
+    name: Optional[str] = None,
+) -> LoopRegion:
+    """``#pragma acc parallel loop`` over ``space``.
+
+    Outside a data region each launch pays its ``copyin``/``copyout``;
+    inside one (``resident=True``) it does not.  ``async_`` models the
+    ``async`` clause (a later ``wait`` is implicit at region end).
+    """
+    params = {
+        "device": device,
+        "to_bytes": copyin,
+        "from_bytes": copyout,
+        "resident": resident,
+        "async_overlap": async_,
+    }
+    return LoopRegion(space, "offload", params, name or f"acc_parallel[{space.name}]")
+
+
+def data_region(
+    program: Program,
+    spaces: Sequence[IterSpace],
+    *,
+    device: Optional[Device] = None,
+    copyin: float = 0.0,
+    copyout: float = 0.0,
+) -> Program:
+    """``#pragma acc data copyin(...) copyout(...)`` around a sequence
+    of parallel loops.
+
+    Adds the one-time transfers as explicit regions and marks every
+    enclosed loop device-resident.  Returns ``program`` for chaining.
+    """
+    from repro.sim.device import K40
+
+    dev = device if device is not None else K40
+    if copyin > 0:
+        program.add(
+            SerialRegion(dev.transfer_time(copyin), name="acc-data-copyin")
+        )
+    for space in spaces:
+        program.add(parallel_region(space, device=device, resident=True))
+    if copyout > 0:
+        program.add(
+            SerialRegion(dev.transfer_time(copyout), name="acc-data-copyout")
+        )
+    return program

@@ -1,0 +1,103 @@
+"""OpenCL front-end: NDRange kernels on host or device.
+
+OpenCL is the one model in Table I supporting "host and device":
+the same kernel enqueues onto a GPU or onto the CPU runtime (which
+executes work-groups over a thread pool).  Table II: work_group/item
+hierarchy, explicit buffer writes, work-group barriers/reductions.
+
+Modelled here:
+
+- :func:`enqueue_kernel` — an NDRange kernel; ``device="gpu"`` routes
+  through the offload executor (buffer writes = transfers), while
+  ``device="cpu"`` executes work-groups as dynamic chunks over host
+  threads, with the OpenCL runtime's heavier per-enqueue overhead;
+- :func:`enqueue_task` — ``clEnqueueTask``: a single work-item kernel
+  (serial on the target, Table I's task-parallelism cell);
+- :func:`work_group_chunks` — the global/local size split.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.device import Device
+from repro.sim.task import IterSpace, LoopRegion, SerialRegion
+
+__all__ = ["CPU_ENQUEUE_OVERHEAD", "work_group_chunks", "enqueue_kernel", "enqueue_task"]
+
+#: Per-enqueue overhead of the OpenCL CPU runtime (driver + JIT-cached
+#: dispatch); an order of magnitude above an OpenMP fork.
+CPU_ENQUEUE_OVERHEAD = 15e-6
+
+
+def work_group_chunks(global_size: int, local_size: int) -> int:
+    """Number of work-groups for an NDRange (ceil division)."""
+    if global_size <= 0 or local_size <= 0:
+        raise ValueError("global and local sizes must be positive")
+    return -(-global_size // local_size)
+
+
+def enqueue_kernel(
+    space: IterSpace,
+    *,
+    device: str = "gpu",
+    local_size: Optional[int] = None,
+    accelerator: Optional[Device] = None,
+    buffer_write: float = 0.0,
+    buffer_read: float = 0.0,
+    resident: bool = False,
+    name: Optional[str] = None,
+) -> LoopRegion:
+    """``clEnqueueNDRangeKernel`` over ``space``.
+
+    ``device="gpu"`` offloads (buffer writes/reads become transfers);
+    ``device="cpu"`` runs work-groups of ``local_size`` items as
+    dynamically dispatched chunks on the host threads.
+    """
+    if device == "gpu":
+        params = {
+            "device": accelerator,
+            "to_bytes": buffer_write,
+            "from_bytes": buffer_read,
+            "resident": resident,
+            "async_overlap": False,
+        }
+        return LoopRegion(space, "offload", params, name or f"cl_gpu[{space.name}]")
+    if device == "cpu":
+        ls = local_size if local_size is not None else max(1, space.niter // 256)
+        params = {
+            "schedule": "dynamic",
+            "chunk": ls,
+            "fork": True,
+            "barrier": True,
+        }
+        return LoopRegion(space, "worksharing", params, name or f"cl_cpu[{space.name}]")
+    raise ValueError(f"unknown OpenCL device {device!r} (expected 'gpu' or 'cpu')")
+
+
+def enqueue_task(
+    work: float,
+    membytes: float = 0.0,
+    *,
+    device: str = "cpu",
+    accelerator: Optional[Device] = None,
+    name: str = "cl_task",
+) -> SerialRegion:
+    """``clEnqueueTask``: a single work-item kernel, serial on the target.
+
+    On the GPU the task still pays the launch overhead and runs on one
+    (slow) lane — the anti-pattern the API's deprecation reflected.
+    """
+    if work < 0 or membytes < 0:
+        raise ValueError("work and membytes must be non-negative")
+    if device == "cpu":
+        return SerialRegion(work + CPU_ENQUEUE_OVERHEAD, membytes, name=name)
+    if device == "gpu":
+        from repro.sim.device import K40
+
+        dev = accelerator if accelerator is not None else K40
+        # one lane of the device: compute_ratio spread over the whole
+        # device gives a single work-item a tiny fraction of it
+        lane_speed = max(1e-3, dev.compute_ratio / dev.min_parallel_iters)
+        return SerialRegion(dev.launch_overhead + work / lane_speed, membytes, name=name)
+    raise ValueError(f"unknown OpenCL device {device!r} (expected 'gpu' or 'cpu')")

@@ -1,0 +1,81 @@
+"""PThreads front-end: bare kernel threads, barriers, SPMD loops.
+
+Table I: PThreads offers only ``pthread_create/join`` — no data
+parallelism constructs, no data-flow; Table II: ``pthread_barrier``
+and ``pthread_join``; Table III: ``pthread_mutex``/``pthread_cond``,
+a C library, ``pthread_cancel``.  "PThreads and C++11 are baseline
+APIs that provide core functionalities" with "minimum scheduling in
+the runtime" — the programmer chunks and balances by hand.
+
+Two idioms are modelled:
+
+- :func:`create_join_loop` — create workers, run one chunk each, join
+  (what a one-shot kernel looks like);
+- :func:`spmd_program` — the SPMD pattern for iterative codes: one
+  create at start, a ``pthread_barrier_wait`` between phases, one join
+  at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sim.task import IterSpace, LoopRegion, Program
+
+__all__ = ["create_join_loop", "spmd_loop", "spmd_program"]
+
+
+def create_join_loop(
+    space: IterSpace,
+    *,
+    nchunks: Optional[int] = None,
+    reduction: bool = False,
+    name: Optional[str] = None,
+) -> LoopRegion:
+    """``pthread_create`` x N, one contiguous chunk each, ``pthread_join``.
+
+    Structurally identical to the C++11 ``std::thread`` version —
+    std::thread is "simple mapping to PThread APIs" (paper, III.B).
+    """
+    params = {
+        "mode": "thread",
+        "nchunks": nchunks,
+        "reduction": reduction,
+        "persistent": False,
+    }
+    return LoopRegion(space, "threadpool", params, name or f"pthread[{space.name}]")
+
+
+def spmd_loop(
+    space: IterSpace,
+    *,
+    nchunks: Optional[int] = None,
+    reduction: bool = False,
+    name: Optional[str] = None,
+) -> LoopRegion:
+    """One phase of an SPMD program: static chunks between barriers."""
+    params = {
+        "mode": "thread",
+        "nchunks": nchunks,
+        "reduction": reduction,
+        "persistent": True,  # threads live across phases; barrier per phase
+    }
+    return LoopRegion(space, "threadpool", params, name or f"pthread_spmd[{space.name}]")
+
+
+def spmd_program(
+    name: str,
+    spaces: Sequence[IterSpace],
+    *,
+    reduction_last: bool = False,
+) -> Program:
+    """A whole SPMD application: create once, barrier-separated phases.
+
+    The one-time ``pthread_create``/``join`` pair is charged at program
+    level (the same mechanism as the C++11 persistent pool).
+    """
+    prog = Program(name, meta={"pool_setup": True, "model": "pthreads"})
+    for i, space in enumerate(spaces):
+        red = reduction_last and i == len(spaces) - 1
+        prog.add(spmd_loop(space, reduction=red))
+    return prog

@@ -1,0 +1,30 @@
+"""Real-thread execution backend.
+
+The quantitative reproduction runs on the simulator (CPython's GIL
+serializes compute threads, so real shared-memory threading comparisons
+are impossible in pure Python — the reason this repo simulates; see
+DESIGN.md).  This package provides the *functional* counterpart: a real
+thread pool whose workers execute numpy block operations (numpy releases
+the GIL inside array ops), used to validate that the chunked
+decompositions the models describe compute correct results — and to
+demonstrate on real hardware that chunked data parallelism scales when
+the GIL is out of the way.
+"""
+
+from repro.native.pool import ThreadPool, parallel_for, parallel_reduce
+from repro.native.kernels import (
+    axpy_parallel,
+    matmul_parallel,
+    matvec_parallel,
+    sum_parallel,
+)
+
+__all__ = [
+    "ThreadPool",
+    "axpy_parallel",
+    "matmul_parallel",
+    "matvec_parallel",
+    "parallel_for",
+    "parallel_reduce",
+    "sum_parallel",
+]

@@ -1,0 +1,123 @@
+"""A persistent worker thread pool with static chunking.
+
+Mirrors the structure of the paper's C++11 versions: a pool of plain
+threads, manual contiguous chunking (``BASE = N / nthreads``), and a
+join/barrier at the end of each parallel region.  Work items should be
+numpy block operations so the GIL is released during execution.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+__all__ = ["ThreadPool", "parallel_for", "parallel_reduce", "static_chunks"]
+
+
+def static_chunks(n: int, nchunks: int) -> list[tuple[int, int]]:
+    """Contiguous [lo, hi) chunk bounds, the manual-chunking pattern."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if nchunks <= 0:
+        raise ValueError("nchunks must be positive")
+    nchunks = min(nchunks, n) or 1
+    return [(i * n // nchunks, (i + 1) * n // nchunks) for i in range(nchunks)]
+
+
+class ThreadPool:
+    """Persistent threads draining a shared work queue.
+
+    Not a scheduler — deliberately minimal, like ``std::thread`` code:
+    ``map`` submits one item per chunk and blocks until all complete,
+    re-raising the first worker exception.
+    """
+
+    def __init__(self, nthreads: int) -> None:
+        if nthreads <= 0:
+            raise ValueError("nthreads must be positive")
+        self.nthreads = nthreads
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"repro-worker-{i}", daemon=True)
+            for i in range(nthreads)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            fn, args, result, index, done = item
+            try:
+                result[index] = (True, fn(*args))
+            except BaseException as exc:  # propagate to the caller
+                result[index] = (False, exc)
+            finally:
+                done.release()
+
+    def map(self, fn: Callable[..., Any], argss: Sequence[tuple]) -> list[Any]:
+        """Run ``fn(*args)`` for every args tuple; ordered results."""
+        if self._shutdown:
+            raise RuntimeError("pool is shut down")
+        n = len(argss)
+        if n == 0:
+            return []
+        results: list[Any] = [None] * n
+        done = threading.Semaphore(0)
+        for i, args in enumerate(argss):
+            self._queue.put((fn, args, results, i, done))
+        for _ in range(n):
+            done.acquire()
+        out = []
+        for ok, value in results:
+            if not ok:
+                raise value
+            out.append(value)
+        return out
+
+    def shutdown(self) -> None:
+        """Stop the workers; the pool cannot be reused."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for t in self._threads:
+            t.join()
+
+    def __enter__(self) -> "ThreadPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+
+def parallel_for(
+    fn: Callable[[int, int], Any],
+    n: int,
+    pool: ThreadPool,
+    nchunks: Optional[int] = None,
+) -> list[Any]:
+    """Run ``fn(lo, hi)`` over static chunks of ``range(n)``."""
+    chunks = static_chunks(n, nchunks if nchunks is not None else pool.nthreads)
+    return pool.map(fn, [(lo, hi) for lo, hi in chunks])
+
+
+def parallel_reduce(
+    fn: Callable[[int, int], Any],
+    n: int,
+    pool: ThreadPool,
+    combine: Callable[[Any, Any], Any],
+    initial: Any,
+    nchunks: Optional[int] = None,
+) -> Any:
+    """Chunk-local partials combined serially — the thread-private
+    reduction pattern of every model except Cilk's reducers."""
+    acc = initial
+    for part in parallel_for(fn, n, pool, nchunks):
+        acc = combine(acc, part)
+    return acc

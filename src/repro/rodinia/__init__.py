@@ -1,0 +1,28 @@
+"""Rodinia-style application workloads (section IV.B of the paper).
+
+Each module builds the phase/task structure of one Rodinia 3.1
+application as a :class:`~repro.sim.task.Program`, preserving the
+properties the paper's analysis hinges on:
+
+==========  =============================  ================================
+app         structure                      paper finding
+==========  =============================  ================================
+BFS         level-synchronous full-array    scales to ~8 cores (random
+            sweeps, 16M-node graph          access); cilk_for worst
+HotSpot     iterated dependent stencil      data-parallel versions poor;
+            phases, 8192 grid, skewed rows  tasking gains with threads
+LUD         outer-sequential shrinking      barrier/fork overhead dominates
+            triangular phases               the small late phases
+LavaMD      uniform heavy per-box compute   all six versions close
+SRAD        two streaming stencil loops     all six versions close
+            per iteration
+==========  =============================  ================================
+
+Problem sizes follow the paper where stated (BFS 16M nodes, HotSpot
+8192); each builder takes a size parameter so tests run small.
+"""
+
+from repro.rodinia import bfs, hotspot, lavamd, lud, srad
+from repro.rodinia.common import RODINIA, build_rodinia_program
+
+__all__ = ["bfs", "hotspot", "lavamd", "lud", "srad", "RODINIA", "build_rodinia_program"]

@@ -1,0 +1,155 @@
+"""Rodinia BFS: level-synchronous breadth-first search (Fig. 6).
+
+Rodinia's OpenMP BFS runs two parallel phases per level, each sweeping
+the *entire* node array ("Each phase must enumerate all the nodes in
+the array, determine if the particular node is of interest for the
+phase and then process the node"):
+
+1. visit phase — frontier nodes expand their edges (random-access
+   neighbor reads) and tentatively discover new nodes;
+2. mark phase — newly discovered nodes are committed for the next level.
+
+Per iteration there is a tiny flag check; frontier/discovered nodes do
+real work.  "This algorithm does not have contiguous memory access, and
+it might have high cache miss rates" — modelled as low effective
+locality, which makes the aggregate random-access bandwidth saturate
+early: the paper's "scales well up to 8 cores".
+
+The paper's dataset is 16M nodes; ``program`` takes ``n_nodes`` so
+tests and benches can scale down (level structure and per-node costs
+are preserved by the branching-process graph model).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.rodinia import common
+from repro.rodinia.graphs import bfs_levels
+from repro.sim.machine import Machine
+from repro.sim.task import IterSpace, Program
+
+__all__ = ["PAPER_N_NODES", "AVG_DEGREE", "level_space", "program"]
+
+PAPER_N_NODES = 16_000_000
+AVG_DEGREE = 6.0
+
+# operation counts per node role
+CHECK_OPS = 3          # read flag, branch
+EXPAND_OPS_PER_EDGE = 8  # neighbor load, visited test, cost update
+MARK_OPS = 5           # commit discovered node
+CHECK_BYTES = 1        # flag byte, streaming scan
+EDGE_BYTES = 12        # neighbor id + visited flag + cost, random access
+MARK_BYTES = 9         # flag writes + cost
+
+RANDOM_LOCALITY = 0.05
+STREAM_LOCALITY = 1.0
+
+
+def _phase_space(
+    machine: Machine,
+    n_nodes: int,
+    active: int,
+    per_active_ops: float,
+    per_active_bytes: float,
+    rng: np.random.Generator,
+    name: str,
+    nblocks: int = 1024,
+) -> IterSpace:
+    """One full-array sweep where ``active`` scattered nodes do real work.
+
+    Active nodes land in blocks binomially (they are scattered across
+    the node array), giving the mild per-chunk imbalance the paper
+    describes ("the amount of work that they handle might be
+    different").  Effective locality is the bytes-weighted blend of the
+    streaming flag scan and the random edge traffic.
+    """
+    nblocks = max(1, min(nblocks, n_nodes))
+    iters_per_block = n_nodes // nblocks
+    check_work = common.op_seconds(machine, CHECK_OPS, ipc=2.0)
+    active_work = common.op_seconds(machine, per_active_ops, ipc=1.0)
+
+    p_active = min(1.0, active / n_nodes)
+    active_per_block = rng.binomial(max(1, iters_per_block), p_active, size=nblocks).astype(
+        np.float64
+    )
+    # keep the exact total
+    total = active_per_block.sum()
+    if total > 0:
+        active_per_block *= active / total
+    block_work = iters_per_block * check_work + active_per_block * active_work
+    block_bytes = (
+        iters_per_block * float(CHECK_BYTES) + active_per_block * per_active_bytes
+    )
+    stream_b = n_nodes * CHECK_BYTES
+    random_b = active * per_active_bytes
+    denom = stream_b + random_b
+    locality = (
+        (stream_b * STREAM_LOCALITY + random_b * RANDOM_LOCALITY) / denom
+        if denom > 0
+        else STREAM_LOCALITY
+    )
+    return IterSpace(n_nodes, block_work, block_bytes, locality, name)
+
+
+def level_space(
+    machine: Machine,
+    n_nodes: int,
+    frontier: int,
+    phase: int,
+    rng: np.random.Generator,
+    avg_degree: float = AVG_DEGREE,
+) -> IterSpace:
+    """Iteration space for one phase of one BFS level."""
+    if phase == 1:
+        return _phase_space(
+            machine,
+            n_nodes,
+            frontier,
+            EXPAND_OPS_PER_EDGE * avg_degree,
+            EDGE_BYTES * avg_degree,
+            rng,
+            "bfs-visit",
+        )
+    if phase == 2:
+        return _phase_space(machine, n_nodes, frontier, MARK_OPS, MARK_BYTES, rng, "bfs-mark")
+    raise ValueError("phase must be 1 or 2")
+
+
+def program(
+    version: str,
+    *,
+    machine: Machine,
+    n_nodes: int = PAPER_N_NODES,
+    avg_degree: float = AVG_DEGREE,
+    seed: int = 42,
+    grainsize=None,
+) -> Program:
+    """The BFS benchmark in one of the six versions."""
+    rng = np.random.default_rng(seed)
+    levels = bfs_levels(n_nodes, avg_degree, seed=seed)
+    persistent = version.startswith("cxx")
+    prog = Program(
+        f"bfs(n={n_nodes})",
+        meta={"version": version, "app": "bfs", "n_nodes": n_nodes, "levels": len(levels)},
+    )
+    if persistent:
+        prog.meta["pool_setup"] = True
+    for frontier in levels:
+        for phase in (1, 2):
+            space = level_space(machine, n_nodes, frontier, phase, rng, avg_degree)
+            prog.add(
+                common.dispatch_loop(
+                    version,
+                    space,
+                    chunks_per_thread=4,
+                    grainsize=grainsize,
+                    persistent_pool=persistent,
+                )
+            )
+    return prog
+
+
+common._register("bfs", sys.modules[__name__])

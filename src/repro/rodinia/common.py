@@ -1,0 +1,88 @@
+"""Shared machinery for Rodinia workload builders."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.common import dispatch_loop, op_seconds
+from repro.sim.machine import Machine
+from repro.sim.task import IterSpace, Program
+
+__all__ = [
+    "RODINIA",
+    "build_rodinia_program",
+    "skewed_profile",
+    "dispatch_loop",
+    "op_seconds",
+]
+
+RODINIA: dict = {}
+
+
+def _register(name: str, module) -> None:
+    RODINIA[name] = module
+
+
+def rodinia_module(name: str):
+    """Return the Rodinia app module registered under ``name``."""
+    try:
+        return RODINIA[name]
+    except KeyError:
+        raise KeyError(f"unknown Rodinia app {name!r}; known: {sorted(RODINIA)}") from None
+
+
+def build_rodinia_program(name: str, version: str, machine: Machine, **params) -> Program:
+    """Build app ``name`` in ``version`` (registry convenience)."""
+    return rodinia_module(name).program(version, machine=machine, **params)
+
+
+def skewed_profile(
+    niter: int,
+    mean_work: float,
+    *,
+    cv: float,
+    rng: np.random.Generator,
+    bytes_per_iter: float = 0.0,
+    locality: float = 1.0,
+    nblocks: int = 1024,
+    corr: int = 1,
+    name: str = "loop",
+) -> IterSpace:
+    """An iteration space with lognormal per-block work variation.
+
+    ``cv`` is the coefficient of variation of per-block work — the
+    "possible different workload" the paper attributes to HotSpot/LUD
+    rows.  ``corr`` is a spatial correlation window in blocks: real
+    skew (a floorplan hot spot, a dense matrix region) is contiguous,
+    so a static contiguous partition absorbs whole hot regions into one
+    thread instead of averaging the noise away.  Bytes stay uniform
+    (array sweeps read everything).
+    """
+    if cv < 0:
+        raise ValueError("cv must be non-negative")
+    if corr < 1:
+        raise ValueError("corr must be >= 1")
+    nblocks = max(1, min(nblocks, niter))
+    iters_per_block = niter / nblocks
+    if cv == 0:
+        block_work = np.full(nblocks, mean_work * iters_per_block)
+    else:
+        noise = rng.standard_normal(nblocks)
+        if corr > 1:
+            window = min(corr, nblocks)
+            kernel = np.ones(window) / window
+            # wrap-around smoothing keeps every block's variance equal
+            noise = np.real(
+                np.fft.ifft(np.fft.fft(noise) * np.fft.fft(kernel, nblocks))
+            )
+            std = noise.std()
+            if std > 0:
+                noise /= std
+        sigma = np.sqrt(np.log1p(cv * cv))
+        factors = np.exp(sigma * noise - 0.5 * sigma * sigma)
+        factors *= 1.0 / factors.mean()  # exact unit mean, total preserved
+        block_work = mean_work * iters_per_block * factors
+    block_bytes = np.full(nblocks, bytes_per_iter * iters_per_block)
+    return IterSpace(niter, block_work, block_bytes, locality, name)

@@ -1,0 +1,119 @@
+"""Rodinia HotSpot: thermal simulation stencil (Fig. 7).
+
+HotSpot "estimates processor temperature based on an architectural
+floorplan and simulated power measurements using a series of
+differential equations" — per simulation step, a 5-point stencil over
+the temperature grid driven by the power grid, then a grid swap.  The
+paper's configuration is an 8192 x 8192 grid; "it includes two parallel
+loops with dependency" per step, so every step pays two fork/barrier
+pairs and no fusion is possible.
+
+Why the paper sees what it sees, and how it is modelled:
+
+- "Each thread receives the same number of tasks with possible
+  different workload" — per-row work varies (floorplan-dependent power
+  terms, boundary handling): rows get a lognormal work profile, so the
+  static schedules (omp_for static, C++ manual chunking) eat the
+  imbalance as idle tail time;
+- "The memory access is not sequential ... more cache miss rates" —
+  reduced locality on the stencil traffic;
+- task versions balance the skewed rows across threads (several chunks
+  per thread stolen dynamically), so "as more threads are added, the
+  task parallel implementations are gaining more than the worksharing
+  parallel implementations", while at small thread counts their task
+  overhead makes them "weak".
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.rodinia import common
+from repro.sim.machine import Machine
+from repro.sim.task import Program
+
+__all__ = ["PAPER_GRID", "DEFAULT_STEPS", "program"]
+
+PAPER_GRID = 8192
+DEFAULT_STEPS = 6
+
+STENCIL_OPS_PER_CELL = 24   # 5-point stencil, power term, divisions, clamp
+STENCIL_IPC = 1.5           # division-heavy, branchy: far from peak FLOPs
+COPY_OPS_PER_CELL = 2
+STENCIL_BYTES_PER_CELL = 16  # neighbor rows are cache-resident; stream in+out
+COPY_BYTES_PER_CELL = 16
+STENCIL_LOCALITY = 0.85     # row-strided but prefetchable
+ROW_WORK_CV = 0.55          # floorplan-driven per-row variability
+
+
+def program(
+    version: str,
+    *,
+    machine: Machine,
+    grid: int = PAPER_GRID,
+    steps: int = DEFAULT_STEPS,
+    seed: int = 7,
+    grainsize=None,
+) -> Program:
+    """The HotSpot benchmark in one of the six versions.
+
+    ``grid`` is the square grid edge (paper: 8192); each of ``steps``
+    simulation steps contributes a stencil loop and a copy/commit loop
+    over rows.
+    """
+    if grid <= 0 or steps <= 0:
+        raise ValueError("grid and steps must be positive")
+    rng = np.random.default_rng(seed)
+    cell_work = common.op_seconds(machine, STENCIL_OPS_PER_CELL, ipc=STENCIL_IPC)
+    copy_work = common.op_seconds(machine, COPY_OPS_PER_CELL, ipc=8.0)
+    persistent = version.startswith("cxx")
+    prog = Program(
+        f"hotspot(grid={grid},steps={steps})",
+        meta={"version": version, "app": "hotspot", "grid": grid, "steps": steps},
+    )
+    if persistent:
+        prog.meta["pool_setup"] = True
+    for _step in range(steps):
+        stencil = common.skewed_profile(
+            grid,
+            cell_work * grid,
+            cv=ROW_WORK_CV,
+            rng=rng,
+            bytes_per_iter=STENCIL_BYTES_PER_CELL * grid,
+            locality=STENCIL_LOCALITY,
+            corr=128,  # floorplan hot regions span contiguous row bands
+            name="hotspot-stencil",
+        )
+        commit = common.skewed_profile(
+            grid,
+            copy_work * grid,
+            cv=0.1,
+            rng=rng,
+            bytes_per_iter=COPY_BYTES_PER_CELL * grid,
+            locality=1.0,
+            name="hotspot-commit",
+        )
+        prog.add(
+            common.dispatch_loop(
+                version,
+                stencil,
+                chunks_per_thread=8,
+                grainsize=grainsize,
+                persistent_pool=persistent,
+            )
+        )
+        prog.add(
+            common.dispatch_loop(
+                version,
+                commit,
+                chunks_per_thread=4,
+                grainsize=grainsize,
+                persistent_pool=persistent,
+            )
+        )
+    return prog
+
+
+common._register("hotspot", sys.modules[__name__])

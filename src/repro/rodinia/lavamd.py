@@ -1,0 +1,68 @@
+"""Rodinia LavaMD: particle potential/relocation in a 3-D box grid (Fig. 9).
+
+LavaMD computes particle interactions inside ``boxes1d^3`` boxes; each
+box interacts with its 26 neighbors plus itself over ~100 particles per
+box — a large, *uniform* amount of compute per box with modest,
+cache-resident memory traffic.  With coarse uniform tasks and high
+arithmetic intensity, scheduling strategy barely matters: the paper
+groups LavaMD with SRAD as the applications where all six versions
+"perform more closely".
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.rodinia import common
+from repro.sim.machine import Machine
+from repro.sim.task import IterSpace, Program
+
+__all__ = ["PAPER_BOXES1D", "PARTICLES_PER_BOX", "program"]
+
+PAPER_BOXES1D = 10
+PARTICLES_PER_BOX = 100
+
+NEIGHBORS = 27
+OPS_PER_PAIR = 30  # distance, cutoff test, force accumulation
+BYTES_PER_BOX = 4 * PARTICLES_PER_BOX * 8 * NEIGHBORS  # positions + charges streamed
+WORK_CV = 0.05  # near-uniform per-box work
+LOCALITY = 0.9
+
+
+def program(
+    version: str,
+    *,
+    machine: Machine,
+    boxes1d: int = PAPER_BOXES1D,
+    particles: int = PARTICLES_PER_BOX,
+    seed: int = 13,
+    grainsize=None,
+) -> Program:
+    """The LavaMD benchmark in one of the six versions."""
+    if boxes1d <= 0 or particles <= 0:
+        raise ValueError("boxes1d and particles must be positive")
+    nboxes = boxes1d**3
+    rng = np.random.default_rng(seed)
+    pair_ops = OPS_PER_PAIR * particles * particles * NEIGHBORS
+    box_work = common.op_seconds(machine, pair_ops, ipc=8.0)
+    space = common.skewed_profile(
+        nboxes,
+        box_work,
+        cv=WORK_CV,
+        rng=rng,
+        bytes_per_iter=BYTES_PER_BOX,
+        locality=LOCALITY,
+        nblocks=min(512, nboxes),
+        name="lavamd-boxes",
+    )
+    prog = Program(
+        f"lavamd(boxes1d={boxes1d})",
+        meta={"version": version, "app": "lavamd", "boxes1d": boxes1d, "nboxes": nboxes},
+    )
+    prog.add(common.dispatch_loop(version, space, chunks_per_thread=4, grainsize=grainsize))
+    return prog
+
+
+common._register("lavamd", sys.modules[__name__])

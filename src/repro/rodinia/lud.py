@@ -1,0 +1,107 @@
+"""Rodinia LUD: blocked LU decomposition (Fig. 8).
+
+"LU Decomposition accelerates solving linear equations by using upper
+and lower triangular products of a matrix.  Each sub-equation is
+handled in separate parallel region, so the algorithm has two parallel
+loops with dependency to an outer loop."
+
+The Rodinia OpenMP implementation is blocked: for every diagonal step
+``k`` it factors the diagonal block serially, then updates the
+perimeter row/column blocks in one parallel loop and the trailing
+interior blocks in a second parallel loop.  The loops *shrink* as ``k``
+advances — the last steps have fewer blocks than threads — so the
+per-region fork/barrier overhead and the idle threads dominate late in
+the run.  "In each parallel loop, thread receives the same number of
+tasks with possible different amount of workload."
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.rodinia import common
+from repro.sim.machine import Machine
+from repro.sim.task import Program, SerialRegion
+
+__all__ = ["PAPER_N", "BLOCK", "program"]
+
+PAPER_N = 2048
+BLOCK = 32
+
+PERIMETER_CV = 0.25
+INTERIOR_CV = 0.10
+LOCALITY = 0.8  # blocked access, mostly cache-friendly
+
+
+def program(
+    version: str,
+    *,
+    machine: Machine,
+    n: int = PAPER_N,
+    block: int = BLOCK,
+    seed: int = 11,
+    grainsize=None,
+) -> Program:
+    """The LUD benchmark in one of the six versions.
+
+    ``n`` is the matrix dimension, ``block`` the tile edge.  Per
+    diagonal step: serial diagonal factorization, a parallel perimeter
+    loop over ``2 * (nb - k - 1)`` blocks, and a parallel interior loop
+    over ``(nb - k - 1)^2`` blocks; each block update is
+    ``~2 * block^3`` FLOPs against ``3 * block^2`` doubles of traffic.
+    """
+    if n % block != 0:
+        raise ValueError("n must be a multiple of block")
+    nb = n // block
+    rng = np.random.default_rng(seed)
+    diag_work = common.op_seconds(machine, (2.0 / 3.0) * block**3, ipc=2.0)
+    block_flops = 2.0 * block**3
+    block_work = common.op_seconds(machine, block_flops, ipc=8.0)
+    block_bytes = 3 * 8 * block * block
+    persistent = version.startswith("cxx")
+    prog = Program(
+        f"lud(n={n},block={block})",
+        meta={"version": version, "app": "lud", "n": n, "block": block, "nb": nb},
+    )
+    if persistent:
+        prog.meta["pool_setup"] = True
+    for k in range(nb - 1):
+        rem = nb - k - 1
+        prog.add(SerialRegion(diag_work, membytes=8 * block * block, name="lud-diag"))
+        perim = common.skewed_profile(
+            2 * rem,
+            block_work,
+            cv=PERIMETER_CV,
+            rng=rng,
+            bytes_per_iter=block_bytes,
+            locality=LOCALITY,
+            name="lud-perimeter",
+        )
+        inner = common.skewed_profile(
+            rem * rem,
+            block_work,
+            cv=INTERIOR_CV,
+            rng=rng,
+            bytes_per_iter=block_bytes,
+            locality=LOCALITY,
+            name="lud-interior",
+        )
+        prog.add(
+            common.dispatch_loop(
+                version, perim, chunks_per_thread=2, grainsize=grainsize,
+                persistent_pool=persistent,
+            )
+        )
+        prog.add(
+            common.dispatch_loop(
+                version, inner, chunks_per_thread=4, grainsize=grainsize,
+                persistent_pool=persistent,
+            )
+        )
+    prog.add(SerialRegion(diag_work, membytes=8 * block * block, name="lud-diag"))
+    return prog
+
+
+common._register("lud", sys.modules[__name__])

@@ -1,0 +1,93 @@
+"""Rodinia SRAD: speckle-reducing anisotropic diffusion (Fig. 9).
+
+SRAD denoises an ultrasound image by iterating two dependent parallel
+loops over the pixel grid: loop 1 computes directional derivatives and
+the diffusion coefficient; loop 2 applies the divergence update.  Both
+loops stream rows with a regular 4-neighbor stencil, the per-row work
+is uniform, and arithmetic intensity is moderate — so, like LavaMD,
+"the comparative execution time of different implementations ...
+perform more closely".
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.rodinia import common
+from repro.sim.machine import Machine
+from repro.sim.task import Program
+
+__all__ = ["PAPER_GRID", "DEFAULT_ITERS", "program"]
+
+PAPER_GRID = 2048
+DEFAULT_ITERS = 10
+
+COEFF_OPS_PER_CELL = 28   # derivatives, normalized gradients, coefficient
+UPDATE_OPS_PER_CELL = 14  # divergence + pixel update
+# The 2048^2 float image (16 MB) is L3-resident on the paper's 45 MB
+# Haswell parts, so DRAM traffic is near-compulsory only.
+COEFF_BYTES_PER_CELL = 3
+UPDATE_BYTES_PER_CELL = 3
+LOCALITY = 0.95
+ROW_CV = 0.05
+
+
+def program(
+    version: str,
+    *,
+    machine: Machine,
+    grid: int = PAPER_GRID,
+    iters: int = DEFAULT_ITERS,
+    seed: int = 17,
+    grainsize=None,
+) -> Program:
+    """The SRAD benchmark in one of the six versions."""
+    if grid <= 0 or iters <= 0:
+        raise ValueError("grid and iters must be positive")
+    rng = np.random.default_rng(seed)
+    coeff_work = common.op_seconds(machine, COEFF_OPS_PER_CELL, ipc=6.0)
+    update_work = common.op_seconds(machine, UPDATE_OPS_PER_CELL, ipc=6.0)
+    persistent = version.startswith("cxx")
+    prog = Program(
+        f"srad(grid={grid},iters={iters})",
+        meta={"version": version, "app": "srad", "grid": grid, "iters": iters},
+    )
+    if persistent:
+        prog.meta["pool_setup"] = True
+    for _i in range(iters):
+        coeff = common.skewed_profile(
+            grid,
+            coeff_work * grid,
+            cv=ROW_CV,
+            rng=rng,
+            bytes_per_iter=COEFF_BYTES_PER_CELL * grid,
+            locality=LOCALITY,
+            name="srad-coeff",
+        )
+        update = common.skewed_profile(
+            grid,
+            update_work * grid,
+            cv=ROW_CV,
+            rng=rng,
+            bytes_per_iter=UPDATE_BYTES_PER_CELL * grid,
+            locality=LOCALITY,
+            name="srad-update",
+        )
+        prog.add(
+            common.dispatch_loop(
+                version, coeff, chunks_per_thread=1, grainsize=grainsize,
+                persistent_pool=persistent,
+            )
+        )
+        prog.add(
+            common.dispatch_loop(
+                version, update, chunks_per_thread=1, grainsize=grainsize,
+                persistent_pool=persistent,
+            )
+        )
+    return prog
+
+
+common._register("srad", sys.modules[__name__])

@@ -1,0 +1,127 @@
+"""Program execution: dispatch regions to their executors.
+
+A :class:`~repro.sim.task.Program` is a sequence of regions, each
+annotated (by the programming-model layer) with an executor name and
+parameters.  :func:`run_program` executes the regions in order on a
+given thread count and returns a :class:`~repro.sim.trace.SimResult`.
+
+Symbolic region entry/exit markers (``entry="omp_parallel"``,
+``exit="barrier"``) are resolved to costs here because they depend on
+the thread count.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.runtime.base import ExecContext
+from repro.runtime.threadpool import run_threadpool_graph, run_threadpool_loop
+from repro.runtime.worksharing import run_worksharing_loop
+from repro.runtime.workstealing import run_stealing_graph, run_stealing_loop
+from repro.sim.task import LoopRegion, Program, SerialRegion, TaskRegion
+from repro.sim.trace import RegionResult, SimResult, WorkerStats
+
+__all__ = ["execute_region", "run_program"]
+
+
+def _entry_cost(marker: str, p: int, ctx: ExecContext) -> float:
+    if marker in ("none", ""):
+        return 0.0
+    if marker == "omp_parallel":
+        return ctx.costs.fork_cost(p)
+    if marker == "cilk":
+        # Cilk workers persist across the program; entering a parallel
+        # section costs one spawn.
+        return ctx.costs.cilk_spawn
+    raise ValueError(f"unknown entry marker {marker!r}")
+
+
+def _exit_cost(marker: str, p: int, ctx: ExecContext) -> float:
+    if marker in ("none", ""):
+        return 0.0
+    if marker == "barrier":
+        return ctx.costs.barrier_cost(p)
+    if marker == "taskwait":
+        return ctx.costs.taskwait
+    if marker == "sync":
+        return ctx.costs.taskwait
+    if marker == "taskwait+barrier":
+        return ctx.costs.taskwait + ctx.costs.barrier_cost(p)
+    raise ValueError(f"unknown exit marker {marker!r}")
+
+
+def execute_region(
+    region: Union[SerialRegion, LoopRegion, TaskRegion],
+    nthreads: int,
+    ctx: ExecContext,
+) -> RegionResult:
+    """Execute one region at ``nthreads`` and return its result."""
+    if isinstance(region, SerialRegion):
+        dur = ctx.duration(region.work, region.membytes, region.locality, 1)
+        w = WorkerStats(busy=dur, tasks=1)
+        return RegionResult(time=dur, nthreads=1, workers=[w], meta={"serial": True})
+
+    if isinstance(region, LoopRegion):
+        params = dict(region.params)
+        executor = region.executor
+        if executor == "worksharing":
+            return run_worksharing_loop(region.space, nthreads, ctx, **params)
+        if executor == "stealing_loop":
+            entry = _entry_cost(params.pop("entry", "none"), nthreads, ctx)
+            exit_marker = params.pop("exit", None)
+            exit_c = (
+                _exit_cost(exit_marker, nthreads, ctx) if exit_marker is not None else None
+            )
+            return run_stealing_loop(
+                region.space, nthreads, ctx, entry_cost=entry, exit_cost=exit_c, **params
+            )
+        if executor == "threadpool":
+            return run_threadpool_loop(region.space, nthreads, ctx, **params)
+        if executor == "offload":
+            from repro.runtime.offload import run_offload_loop
+
+            return run_offload_loop(region.space, nthreads, ctx, **params)
+        raise ValueError(f"unknown loop executor {executor!r}")
+
+    if isinstance(region, TaskRegion):
+        params = dict(region.params)
+        executor = region.executor
+        graph = region.graph_for(nthreads)
+        if executor == "stealing":
+            entry = _entry_cost(params.pop("entry", "none"), nthreads, ctx)
+            exit_c = _exit_cost(params.pop("exit", "none"), nthreads, ctx)
+            return run_stealing_graph(
+                graph, nthreads, ctx, entry_cost=entry, exit_cost=exit_c, **params
+            )
+        if executor == "threadpool_graph":
+            return run_threadpool_graph(graph, nthreads, ctx, **params)
+        raise ValueError(f"unknown task executor {executor!r}")
+
+    raise TypeError(f"unknown region type {type(region).__name__}")
+
+
+def run_program(
+    program: Program,
+    nthreads: int,
+    ctx: ExecContext,
+    version: str = "",
+) -> SimResult:
+    """Execute all regions of ``program`` in order at ``nthreads``."""
+    if nthreads <= 0:
+        raise ValueError("nthreads must be positive")
+    regions = []
+    total = 0.0
+    if program.meta.get("pool_setup"):
+        # one-time hand-rolled C++ thread-pool creation/teardown
+        total += nthreads * (ctx.costs.thread_create + ctx.costs.thread_join)
+    for region in program:
+        res = execute_region(region, nthreads, ctx)
+        regions.append(res)
+        total += res.time
+    return SimResult(
+        program=program.name,
+        version=version or program.meta.get("version", ""),
+        nthreads=nthreads,
+        time=total,
+        regions=regions,
+    )

@@ -1,0 +1,173 @@
+"""Bare-thread execution (C++11 ``std::thread`` / ``std::async``, PThreads).
+
+The C++11 versions in the paper do their own chunking: "we use a for
+loop and manual chunking to distribute loop iterations among threads and
+tasks", with a cut-off ``BASE = N / nthreads`` guarding the recursive
+versions against task explosion.  The runtime itself does almost
+nothing — no scheduler, no load balancing — so the model here is simple
+and explicit:
+
+- thread creation is serial in the creating thread (``pthread_create``),
+- each thread runs its one chunk,
+- joins (or ``future::get``) are serial in the master, in program order,
+- creating more threads than the machine has hardware contexts degrades
+  throughput via the machine's oversubscription model, and creating an
+  unbounded number (the recursive Fibonacci without cut-off) raises
+  :class:`~repro.runtime.base.ThreadExplosionError` — the paper's "system
+  hangs" observation for fib(n >= 20).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.base import ExecContext, ThreadExplosionError
+from repro.sim.task import IterSpace, TaskGraph
+from repro.sim.trace import RegionResult, WorkerStats
+
+__all__ = ["run_threadpool_loop", "run_threadpool_graph"]
+
+
+def run_threadpool_loop(
+    space: IterSpace,
+    nthreads: int,
+    ctx: ExecContext,
+    *,
+    mode: str = "thread",
+    nchunks: Optional[int] = None,
+    work_scale: float = 1.0,
+    reduction: bool = False,
+    persistent: bool = False,
+) -> RegionResult:
+    """Execute a manually-chunked loop on bare threads.
+
+    ``mode="thread"`` models ``std::thread`` (create + join), and
+    ``mode="async"`` models ``std::async`` with ``future::get``
+    (slightly cheaper creation, same structure).  ``nchunks`` defaults
+    to one chunk per thread (the paper's BASE cut-off).  ``reduction``
+    charges the master one combine per chunk after the joins (the
+    manual thread-private-partials pattern).
+
+    ``persistent=True`` models the hand-rolled thread pool a C++
+    programmer writes for *iterative* applications: threads are created
+    once for the whole program (charged at program level, see
+    :func:`repro.runtime.run.run_program`), and each phase pays a
+    condition-variable wake plus two manual barriers instead of
+    create/join.
+    """
+    if nthreads <= 0:
+        raise ValueError("nthreads must be positive")
+    if mode not in ("thread", "async"):
+        raise ValueError(f"unknown threadpool mode {mode!r}")
+    costs = ctx.costs
+    n = nchunks if nchunks is not None else nthreads
+    n = max(1, min(n, space.niter))
+    if n > ctx.thread_cap:
+        raise ThreadExplosionError(
+            f"{n} simultaneous {mode} threads exceed the cap of {ctx.thread_cap}"
+        )
+    if persistent:
+        create = 0.0
+        finalize = 0.0
+    else:
+        create = costs.thread_create if mode == "thread" else costs.async_create
+        finalize = costs.thread_join if mode == "thread" else costs.future_get
+
+    edges = np.linspace(0, space.niter, n + 1).astype(np.int64)
+    edges[0], edges[-1] = 0, space.niter
+    work, membytes = space.chunk_costs(edges)
+    work = work * work_scale
+    active = n  # every chunk gets its own software thread
+    speed = ctx.machine.compute_speed(active)
+    bw = ctx.machine.bandwidth_per_thread(active, space.locality)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mem = np.where(membytes > 0, membytes / bw, 0.0)
+    durations = np.maximum(work / speed, mem)
+
+    workers = [WorkerStats() for _ in range(n)]
+    # Serial creation: thread i starts at (i+1) * create.
+    starts = (np.arange(1, n + 1)) * create
+    finishes = starts + durations
+    # Serial join/get in program order by the master.
+    t_join = float(starts[-1])  # master is free after the last create
+    for i in range(n):
+        t_join = max(t_join, float(finishes[i])) + finalize
+        workers[i].busy = float(durations[i])
+        workers[i].overhead = create + finalize
+        workers[i].tasks = 1
+    if reduction:
+        t_join += n * costs.atomic_op
+    if persistent:
+        # condvar wake at phase start + two manual barriers (release the
+        # workers, wait for the last one)
+        t_join += costs.condvar_wake + 2 * costs.barrier_cost(n)
+    meta = {"mode": mode, "nthreads_created": 0 if persistent else n, "persistent": persistent}
+    return RegionResult(time=t_join, nthreads=nthreads, workers=workers, meta=meta)
+
+
+def run_threadpool_graph(
+    graph: TaskGraph,
+    nthreads: int,
+    ctx: ExecContext,
+    *,
+    mode: str = "async",
+) -> RegionResult:
+    """Execute a task DAG where every task is its own thread.
+
+    This models the paper's recursive C++11 implementations.  If the DAG
+    is larger than the thread cap the execution is declared hung
+    (:class:`ThreadExplosionError`).  Otherwise the finish time is the
+    maximum of the dependency critical path (with serial per-parent
+    creation costs) and the machine's aggregate throughput bound under
+    oversubscription.
+    """
+    if mode not in ("thread", "async"):
+        raise ValueError(f"unknown threadpool mode {mode!r}")
+    ntasks = len(graph)
+    if ntasks == 0:
+        return RegionResult(time=0.0, nthreads=nthreads, workers=[])
+    if ntasks > ctx.thread_cap:
+        raise ThreadExplosionError(
+            f"recursive {mode} execution would create {ntasks} threads "
+            f"(cap {ctx.thread_cap}); the paper reports this configuration hangs"
+        )
+    costs = ctx.costs
+    create = costs.thread_create if mode == "thread" else costs.async_create
+    finalize = costs.thread_join if mode == "thread" else costs.future_get
+    machine = ctx.machine
+    active = min(ntasks, machine.hw_threads * 4)
+    speed = machine.compute_speed(max(1, active))
+
+    # Critical path with creation costs: each task starts after its deps
+    # finish plus one creation slot; children of the same parent are
+    # created serially by that parent.
+    finish = [0.0] * ntasks
+    child_rank: dict[int, int] = {}
+    for t in graph.tasks:
+        rank = 1
+        if t.deps:
+            # serial creation among siblings sharing the first dep
+            key = t.deps[0]
+            child_rank[key] = child_rank.get(key, 0) + 1
+            rank = child_rank[key]
+        start = max((finish[d] for d in t.deps), default=0.0) + rank * create
+        dur = ctx.memory.duration(t.work, t.membytes, t.locality, active) \
+            if speed else t.work
+        finish[t.tid] = start + dur + finalize
+    cp = max(finish)
+    throughput_bound = graph.total_work() / (machine.compute_speed(active) * active) \
+        + ntasks * (create + finalize) / max(1, nthreads)
+    time = max(cp, throughput_bound)
+    w = WorkerStats(
+        busy=graph.total_work(),
+        overhead=ntasks * (create + finalize),
+        tasks=ntasks,
+    )
+    return RegionResult(
+        time=time,
+        nthreads=nthreads,
+        workers=[w],
+        meta={"mode": mode, "nthreads_created": ntasks},
+    )

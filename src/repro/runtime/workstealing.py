@@ -1,0 +1,494 @@
+"""Random work-stealing scheduler (Cilk Plus / OpenMP task model).
+
+Event-driven simulation of the scheduler described in section III.B of
+the paper: every worker owns a double-ended queue; the owner pushes and
+pops tasks at one end, a thief steals the oldest task from the other
+end.  The deque protocol is pluggable (:mod:`repro.sim.deque`): Cilk's
+THE protocol keeps owner operations lock-free, the Intel-OpenMP-style
+locked deque serializes everything through the deque lock — the
+contention mechanism the paper blames for ``omp task`` losing to
+``cilk_spawn`` on Fibonacci.
+
+Two loop front-ends are provided:
+
+- :func:`cilk_for_graph` — the recursive binary splitter tree that
+  ``cilk_for`` compiles to; chunk distribution happens through steals of
+  subtree tasks, which serializes ramp-up and scatters data placement
+  (the paper's explanation for ``cilk_for``'s poor data-parallel
+  showing);
+- :func:`flat_chunk_graph` — the "master creates one task per chunk"
+  decomposition used by the ``omp task`` versions of data-parallel
+  kernels.
+
+Bandwidth-placement penalty: subtree stealing randomizes which worker
+touches which subrange, defeating first-touch NUMA placement and
+prefetch streaming.  :func:`run_stealing_loop` charges stolen-range
+executions a memory-traffic penalty that is strongest for small chunks
+and fades once the memory bus is saturated anyway (when everyone is
+bandwidth-bound, placement matters less).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from functools import partial
+from typing import Optional
+
+from repro.runtime.base import ExecContext
+from repro.sim.deque import make_deque
+from repro.sim.engine import Engine
+from repro.sim.task import IterSpace, TaskGraph
+from repro.sim.trace import RegionResult, WorkerStats
+
+__all__ = [
+    "StealingScheduler",
+    "run_stealing_graph",
+    "run_stealing_loop",
+    "cilk_for_graph",
+    "flat_chunk_graph",
+    "default_grainsize",
+    "scatter_penalty",
+]
+
+_BUSY, _IDLE, _WAKING = 0, 1, 2
+
+
+class StealingScheduler:
+    """One work-stealing execution of a :class:`TaskGraph`.
+
+    Parameters
+    ----------
+    deque:
+        ``"the"`` (Cilk THE protocol) or ``"locked"`` (Intel OpenMP).
+    spawn_cost:
+        Default task-creation cost charged to the spawner when a task
+        becomes ready; a task's own ``spawn_cost`` field overrides it.
+    init:
+        ``"master"`` — worker 0 enqueues all roots sequentially (an
+        OpenMP ``single`` region creating tasks, or a Cilk root spawn).
+    undeferred_single:
+        With one thread, execute tasks immediately at creation without
+        touching the deque (Intel OpenMP's if-clause style serialization;
+        this is why ``omp task`` does not lose to ``cilk_spawn`` at one
+        core in the paper's Fig. 5).
+    central_queue:
+        All workers share one queue (worker 0's deque) for every push
+        and pop — the GCC libgomp task-scheduling model the paper's
+        cited Podobas et al. study found uncompetitive.  Contention on
+        the single lock is emergent.
+    work_first:
+        The paper (III.B): "In work-first, tasks are executed once they
+        are created, while in breadth-first, all tasks are first
+        created."  With ``work_first=True`` a worker dives into the
+        first task it makes ready without a deque round-trip (Cilk's
+        discipline, also saving the push/pop cost); the default queues
+        every created task (breadth-first, the OpenMP default).
+    per_task_overhead:
+        Extra post-task cost, e.g. an atomic accumulate per task.
+    reducer:
+        Charge Cilk reducer semantics: a view creation per steal and a
+        view merge per steal at the final sync.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        nthreads: int,
+        ctx: ExecContext,
+        *,
+        deque: str = "the",
+        spawn_cost: Optional[float] = None,
+        init: str = "master",
+        undeferred_single: bool = False,
+        per_task_overhead: float = 0.0,
+        reducer: bool = False,
+        record: bool = False,
+        central_queue: bool = False,
+        work_first: bool = False,
+    ) -> None:
+        if nthreads <= 0:
+            raise ValueError("nthreads must be positive")
+        self.graph = graph
+        self.p = nthreads
+        self.ctx = ctx
+        self.deque_kind = deque
+        if spawn_cost is None:
+            spawn_cost = ctx.costs.cilk_spawn if deque == "the" else ctx.costs.omp_task_spawn
+        self.spawn_cost = spawn_cost
+        self.init = init
+        self.undeferred_single = undeferred_single
+        self.per_task_overhead = per_task_overhead
+        self.reducer = reducer
+
+        self.engine = Engine()
+        self.rng = random.Random(ctx.seed ^ (len(graph) * 2654435761 % (1 << 30)))
+        self.deques = [make_deque(deque, w, ctx.costs) for w in range(nthreads)]
+        self.stats = [WorkerStats() for _ in range(nthreads)]
+        self.state = [_IDLE] * nthreads
+        self.remaining = graph.indegrees()
+        self.done = 0
+        self.finish_time = 0.0
+        self.active = 0
+        self.steal_views = 0
+        self._idle: list[int] = []
+        self.record = record
+        self.central_queue = central_queue
+        self.work_first = work_first
+        self.intervals: list[tuple[int, float, float, str]] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> RegionResult:
+        graph = self.graph
+        if len(graph) == 0:
+            return RegionResult(time=0.0, nthreads=self.p, workers=self.stats)
+        if self.p == 1 and self.undeferred_single:
+            return self._run_serial_undeferred()
+
+        # Workers 1..p-1 begin idle; worker 0 seeds the deque.
+        for w in range(1, self.p):
+            self._idle.append(w)
+        t = 0.0
+        dq = self.deques[0]
+        pushed = 0
+        for tid in graph.roots:
+            task = graph.tasks[tid]
+            spawn = task.spawn_cost if task.spawn_cost > 0 else self.spawn_cost
+            t += spawn
+            t = dq.push(t, tid)
+            pushed += 1
+        self.stats[0].overhead += t
+        self._wake_idlers(pushed, t)
+        self._acquire(0, t)
+        self.engine.run(max_events=self.ctx.max_events)
+        if self.done != len(graph):
+            raise RuntimeError(
+                f"deadlock: {self.done}/{len(graph)} tasks completed in {graph.name}"
+            )
+        finish = self.finish_time
+        if self.reducer and self.steal_views:
+            finish += self.steal_views * self.ctx.costs.reducer_merge
+        meta = {
+            "steals": sum(d.steals for d in self.deques),
+            "failed_steals": sum(d.failed_steals for d in self.deques),
+            "lock_wait": sum(d.lock.wait_time for d in self.deques),
+            "events": self.engine.events_processed,
+            "reducer_views": self.steal_views,
+        }
+        if self.record:
+            meta["intervals"] = self.intervals
+        return RegionResult(time=finish, nthreads=self.p, workers=self.stats, meta=meta)
+
+    def _run_serial_undeferred(self) -> RegionResult:
+        """One thread, tasks executed immediately at creation."""
+        t = 0.0
+        st = self.stats[0]
+        for task in self.graph.tasks:  # creation order is topological
+            spawn = task.spawn_cost if task.spawn_cost > 0 else self.spawn_cost
+            dur = self.ctx.duration(task.work, task.membytes, task.locality, 1)
+            t += spawn + dur + self.per_task_overhead
+            st.busy += dur
+            st.overhead += spawn + self.per_task_overhead
+            st.tasks += 1
+        self.done = len(self.graph)
+        self.finish_time = t
+        return RegionResult(
+            time=t, nthreads=1, workers=self.stats, meta={"steals": 0, "undeferred": True}
+        )
+
+    # ------------------------------------------------------------------
+    def _start(self, w: int, tid: int, t: float) -> None:
+        self.state[w] = _BUSY
+        self.active += 1
+        task = self.graph.tasks[tid]
+        dur = self.ctx.duration(task.work, task.membytes, task.locality, min(self.active, self.p))
+        st = self.stats[w]
+        st.busy += dur
+        st.tasks += 1
+        t0 = max(t, self.engine.now)
+        if self.record:
+            self.intervals.append((w, t0, t0 + dur, task.tag or "task"))
+        self.engine.at(t0 + dur, partial(self._finish, w, tid))
+
+    def _own_deque(self, w: int):
+        return self.deques[0] if self.central_queue else self.deques[w]
+
+    def _finish(self, w: int, tid: int) -> None:
+        self.active -= 1
+        t = self.engine.now
+        t0 = t
+        dq = self._own_deque(w)
+        pushed = 0
+        dive: Optional[int] = None
+        for succ in self.graph.successors[tid]:
+            self.remaining[succ] -= 1
+            if self.remaining[succ] == 0:
+                task = self.graph.tasks[succ]
+                spawn = task.spawn_cost if task.spawn_cost > 0 else self.spawn_cost
+                t += spawn
+                if self.work_first and dive is None:
+                    dive = succ  # execute-on-creation: no deque round-trip
+                else:
+                    t = dq.push(t, succ)
+                    pushed += 1
+        if self.per_task_overhead:
+            t += self.per_task_overhead
+        self.stats[w].overhead += t - t0
+        self.done += 1
+        if t > self.finish_time:
+            self.finish_time = t
+        if pushed:
+            self._wake_idlers(pushed, t)
+        if dive is not None:
+            self._start(w, dive, t)
+        else:
+            self._acquire(w, t)
+
+    def _acquire(self, w: int, t: float) -> None:
+        """Pop own deque (or the central queue) or steal; go idle when
+        the system looks empty."""
+        tid, t2 = self._own_deque(w).pop(t)
+        if tid is not None:
+            self.stats[w].overhead += t2 - t
+            self._start(w, tid, t2)
+            return
+        victim = None if self.central_queue else self._pick_victim(w)
+        if victim is not None:
+            t_probe = t + self.ctx.costs.steal_latency
+            tid, t2 = self.deques[victim].steal(t_probe)
+            if tid is not None:
+                st = self.stats[w]
+                st.steals += 1
+                st.overhead += t2 - t
+                if self.reducer:
+                    t2 += self.ctx.costs.reducer_view
+                    self.steal_views += 1
+                self._start(w, tid, t2)
+                return
+            self.stats[w].failed_steals += 1
+            self.stats[w].overhead += t2 - t
+            t = t2
+        self.state[w] = _IDLE
+        self._idle.append(w)
+
+    def _pick_victim(self, w: int) -> Optional[int]:
+        """Random victim among non-empty deques (deterministic RNG)."""
+        candidates = [v for v in range(self.p) if v != w and self.deques[v].items]
+        if not candidates:
+            return None
+        return candidates[self.rng.randrange(len(candidates))]
+
+    def _wake_idlers(self, count: int, t: float) -> None:
+        wake_at = max(t, self.engine.now) + self.ctx.costs.wake_latency
+        while count > 0 and self._idle:
+            w = self._idle.pop()
+            self.state[w] = _WAKING
+            self.engine.at(wake_at, partial(self._woken, w))
+            count -= 1
+
+    def _woken(self, w: int) -> None:
+        if self.state[w] != _WAKING:
+            return
+        self._acquire(w, self.engine.now)
+
+
+# ---------------------------------------------------------------------------
+# Graph front-ends
+# ---------------------------------------------------------------------------
+def default_grainsize(niter: int, nthreads: int, cap: int = 2048) -> int:
+    """Cilk Plus's automatic cilk_for grainsize: min(cap, N / 8p)."""
+    return max(1, min(cap, -(-niter // (8 * nthreads))))
+
+
+def cilk_for_graph(
+    space: IterSpace,
+    grainsize: int,
+    ctx: ExecContext,
+    *,
+    bytes_penalty: float = 1.0,
+    work_scale: float = 1.0,
+) -> TaskGraph:
+    """The recursive binary splitter tree ``cilk_for`` compiles to.
+
+    Interior tasks are range splits (cost ``cilk_split``); leaves execute
+    ``grainsize``-iteration chunks.  Built iteratively to tolerate deep
+    ranges.
+    """
+    g = TaskGraph(f"cilk_for[{space.name}]")
+    split_cost = ctx.costs.cilk_split
+    stack = [(0, space.niter, ())]
+    while stack:
+        lo, hi, deps = stack.pop()
+        if hi - lo <= grainsize:
+            work, membytes = space.chunk_cost(lo, hi)
+            g.add(
+                work * work_scale,
+                membytes * bytes_penalty,
+                space.locality,
+                deps=deps,
+                tag="chunk",
+            )
+        else:
+            tid = g.add(split_cost, deps=deps, tag="split")
+            mid = (lo + hi) // 2
+            stack.append((lo, mid, (tid,)))
+            stack.append((mid, hi, (tid,)))
+    return g
+
+
+def flat_chunk_graph(
+    space: IterSpace,
+    nchunks: int,
+    ctx: ExecContext,
+    *,
+    bytes_penalty: float = 1.0,
+    work_scale: float = 1.0,
+) -> TaskGraph:
+    """One independent task per contiguous chunk (``omp task`` loops)."""
+    if nchunks <= 0:
+        raise ValueError("nchunks must be positive")
+    nchunks = min(nchunks, space.niter)
+    g = TaskGraph(f"flat[{space.name}]")
+    for i in range(nchunks):
+        lo = i * space.niter // nchunks
+        hi = (i + 1) * space.niter // nchunks
+        work, membytes = space.chunk_cost(lo, hi)
+        g.add(work * work_scale, membytes * bytes_penalty, space.locality, tag="chunk")
+    return g
+
+
+def scatter_penalty(
+    space: IterSpace,
+    nchunks: int,
+    nthreads: int,
+    ctx: ExecContext,
+    *,
+    small_chunk_penalty: float = 0.9,
+    numa_scatter_penalty: float = 0.25,
+    scatter_bytes: float = 2e6,
+) -> float:
+    """Memory-traffic multiplier for randomly-placed stolen subranges.
+
+    Three ingredients, all fading to 1.0 when they don't apply:
+
+    - fine chunks lose prefetch/TLB efficiency (decays exponentially
+      with chunk footprint against ``scatter_bytes``); this term is
+      scaled by how *unsaturated* the memory system is — once every
+      thread is bandwidth-starved, prefetch efficiency no longer
+      differentiates (this is why the paper sees the cilk_for Axpy gap
+      close at 32 cores);
+    - once the computation spans sockets, random placement defeats
+      first-touch NUMA locality and pushes traffic across the
+      interconnect (flat ``numa_scatter_penalty`` — remote hops cost
+      bandwidth whether or not the local controllers are saturated).
+    """
+    if nthreads <= 1:
+        return 1.0
+    if space.total_bytes <= 0:
+        return 1.0
+    machine = ctx.machine
+    chunk_bytes = space.total_bytes / max(1, nchunks)
+    scatter = math.exp(-chunk_bytes / scatter_bytes)
+    agg_share = machine.bandwidth_per_thread(nthreads, space.locality)
+    cap = machine.bandwidth_per_thread(1, space.locality)
+    unsat = min(1.0, agg_share / cap) if cap > 0 else 1.0
+    penalty = small_chunk_penalty * scatter * unsat
+    if machine.sockets_spanned(nthreads) > 1:
+        penalty += numa_scatter_penalty
+    return 1.0 + penalty
+
+
+def run_stealing_loop(
+    space: IterSpace,
+    nthreads: int,
+    ctx: ExecContext,
+    *,
+    style: str = "cilk_for",
+    deque: str = "the",
+    grainsize: Optional[int] = None,
+    nchunks: Optional[int] = None,
+    chunks_per_thread: int = 1,
+    reducer: bool = False,
+    per_task_overhead: float = 0.0,
+    work_scale: float = 1.0,
+    entry_cost: float = 0.0,
+    exit_cost: Optional[float] = None,
+    apply_scatter_penalty: bool = True,
+    undeferred_single: bool = False,
+) -> RegionResult:
+    """Execute a parallel loop on the work-stealing runtime.
+
+    ``style="cilk_for"`` builds the splitter tree (with placement
+    penalty); ``style="flat"`` builds master-spawned chunk tasks (the
+    FIFO steal order hands thieves long contiguous runs, so no penalty).
+    """
+    costs = ctx.costs
+    if reducer:
+        # Reducer hyperobject updates cost a hypermap lookup per access.
+        space = space.with_extra_work_per_iter(costs.reducer_access)
+    if style == "cilk_for":
+        gsize = grainsize if grainsize is not None else default_grainsize(space.niter, nthreads)
+        nleaves = -(-space.niter // gsize)
+        penalty = (
+            scatter_penalty(space, nleaves, nthreads, ctx) if apply_scatter_penalty else 1.0
+        )
+        graph = cilk_for_graph(space, gsize, ctx, bytes_penalty=penalty, work_scale=work_scale)
+        exit_c = costs.taskwait if exit_cost is None else exit_cost
+    elif style == "flat":
+        nck = nchunks if nchunks is not None else nthreads * max(1, chunks_per_thread)
+        graph = flat_chunk_graph(space, nck, ctx, work_scale=work_scale)
+        penalty = 1.0
+        exit_c = costs.taskwait if exit_cost is None else exit_cost
+    else:
+        raise ValueError(f"unknown stealing loop style {style!r}")
+    sched = StealingScheduler(
+        graph,
+        nthreads,
+        ctx,
+        deque=deque,
+        per_task_overhead=per_task_overhead,
+        reducer=reducer,
+        undeferred_single=undeferred_single,
+    )
+    res = sched.run()
+    res.meta["bytes_penalty"] = penalty
+    res.meta["style"] = style
+    return RegionResult(
+        time=entry_cost + res.time + exit_c,
+        nthreads=nthreads,
+        workers=res.workers,
+        meta=res.meta,
+    )
+
+
+def run_stealing_graph(
+    graph: TaskGraph,
+    nthreads: int,
+    ctx: ExecContext,
+    *,
+    deque: str = "the",
+    spawn_cost: Optional[float] = None,
+    per_task_overhead: float = 0.0,
+    reducer: bool = False,
+    entry_cost: float = 0.0,
+    exit_cost: float = 0.0,
+    undeferred_single: bool = False,
+) -> RegionResult:
+    """Execute an explicit task DAG on the work-stealing runtime."""
+    sched = StealingScheduler(
+        graph,
+        nthreads,
+        ctx,
+        deque=deque,
+        spawn_cost=spawn_cost,
+        per_task_overhead=per_task_overhead,
+        reducer=reducer,
+        undeferred_single=undeferred_single,
+    )
+    res = sched.run()
+    return RegionResult(
+        time=entry_cost + res.time + exit_cost,
+        nthreads=nthreads,
+        workers=res.workers,
+        meta=res.meta,
+    )

@@ -1,0 +1,115 @@
+"""Accelerator device model (for the offloading feature comparison).
+
+Tables I and II of the paper compare *offloading* support (CUDA's
+kernel launch, OpenACC's ``parallel``/``data`` constructs, OpenMP's
+``target``/``map``) and explicit data movement between distinct memory
+spaces.  The performance section does not benchmark accelerators, so
+this subsystem is an **extension**: it lets the same workload IR run
+through an offloading model and exposes the classic trade the paper's
+feature discussion implies — kernel throughput vs. transfer cost vs.
+launch latency.
+
+:class:`Device` is deliberately coarse: a throughput machine with a
+launch overhead, its own memory bandwidth, a PCIe-style link, and an
+occupancy knee below which kernels cannot fill the device.  Defaults
+approximate a 2017-era Tesla K40 against one Haswell core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.task import IterSpace
+
+__all__ = ["Device", "K40"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """An offload target (GPU/manycore accelerator).
+
+    Parameters
+    ----------
+    compute_ratio:
+        Sustained compute throughput relative to ONE host core running
+        the same (vectorized) loop — i.e. how many host-core-equivalents
+        the device provides when fully occupied.
+    memory_bandwidth:
+        Device-memory streaming bandwidth, bytes/second.
+    link_bandwidth:
+        Host<->device transfer bandwidth (PCIe), bytes/second.
+    link_latency:
+        Per-transfer fixed latency, seconds.
+    launch_overhead:
+        Per-kernel launch cost, seconds.
+    min_parallel_iters:
+        Iterations needed to occupy the device; smaller kernels run at
+        proportionally lower efficiency (the occupancy knee).
+    random_access_factor:
+        Fraction of streaming bandwidth under fully random access
+        (GPUs coalesce poorly on scattered loads too).
+    """
+
+    compute_ratio: float = 60.0
+    memory_bandwidth: float = 288e9
+    link_bandwidth: float = 12e9
+    link_latency: float = 10e-6
+    launch_overhead: float = 5e-6
+    min_parallel_iters: int = 30_000
+    random_access_factor: float = 0.15
+    name: str = "device"
+
+    def __post_init__(self) -> None:
+        if self.compute_ratio <= 0:
+            raise ValueError("compute_ratio must be positive")
+        if min(self.memory_bandwidth, self.link_bandwidth) <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.link_latency < 0 or self.launch_overhead < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.min_parallel_iters < 1:
+            raise ValueError("min_parallel_iters must be >= 1")
+        if not 0 < self.random_access_factor <= 1:
+            raise ValueError("random_access_factor must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    def occupancy(self, niter: int) -> float:
+        """Fraction of the device a kernel with ``niter`` iterations fills."""
+        if niter <= 0:
+            raise ValueError("niter must be positive")
+        return min(1.0, niter / self.min_parallel_iters)
+
+    def effective_bandwidth(self, locality: float) -> float:
+        """Device-memory bandwidth under the given access locality."""
+        if not 0.0 <= locality <= 1.0:
+            raise ValueError("locality must be in [0, 1]")
+        factor = self.random_access_factor + locality * (1.0 - self.random_access_factor)
+        return self.memory_bandwidth * factor
+
+    def kernel_time(self, space: IterSpace) -> float:
+        """Execution time of one data-parallel kernel over ``space``.
+
+        Roofline over the device: compute at ``compute_ratio`` host-core
+        equivalents (scaled by occupancy), memory at device bandwidth;
+        plus the launch overhead.
+        """
+        occ = self.occupancy(space.niter)
+        compute = space.total_work / (self.compute_ratio * occ)
+        mem = (
+            space.total_bytes / self.effective_bandwidth(space.locality)
+            if space.total_bytes > 0
+            else 0.0
+        )
+        return self.launch_overhead + max(compute, mem)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """One host<->device copy of ``nbytes`` (0 bytes is free)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.link_latency + nbytes / self.link_bandwidth
+
+
+#: A 2017-era discrete accelerator: Tesla K40-class throughput and
+#: PCIe 3 x16 link, against one Haswell core as the unit.
+K40 = Device(name="tesla-k40-class")

@@ -1,0 +1,202 @@
+"""Shared-memory NUMA machine model.
+
+The paper's experiments ran on a two-socket Intel Xeon E5-2699v3 system:
+18 physical cores per socket (36 total), two-way hyper-threading, 2.3 GHz
+base clock (3.6 GHz turbo), 256 GB DDR4-2133 in a NUMA configuration.
+
+:class:`Machine` captures the properties of that system that matter for
+scheduling behaviour: how many hardware contexts exist, how compute
+throughput degrades when SMT contexts share a core or when software
+threads oversubscribe hardware contexts, and how much memory bandwidth a
+group of active cores can draw (the term that makes Axpy and BFS stop
+scaling).  Everything is a constructor parameter so benchmarks can ablate
+individual terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Machine", "PAPER_MACHINE"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A shared-memory NUMA node.
+
+    Parameters
+    ----------
+    sockets:
+        Number of NUMA domains (CPU packages).
+    cores_per_socket:
+        Physical cores per socket.
+    smt:
+        Hardware threads per physical core (2 = two-way hyper-threading).
+    ghz:
+        Nominal core clock in GHz.  Workload generators use this to turn
+        operation counts into seconds of ``work``.
+    socket_bandwidth:
+        Peak streaming memory bandwidth of one socket, bytes/second.
+    core_bandwidth:
+        Peak streaming bandwidth a single core can draw, bytes/second.
+        A single core cannot saturate a socket's memory controllers.
+    random_access_factor:
+        Fraction of streaming bandwidth achievable under fully random
+        (cache-hostile) access, e.g. pointer chasing in BFS.  Applied via
+        the task ``locality`` attribute (locality 1.0 = streaming).
+    numa_remote_fraction:
+        Fraction of memory traffic that crosses the socket interconnect
+        once a computation spans more than one socket.
+    numa_penalty:
+        Latency/bandwidth multiplier for remote traffic (remote bytes
+        cost ``numa_penalty`` times as much as local bytes).
+    smt_throughput:
+        Combined compute throughput of the two SMT contexts of one core,
+        relative to one context running alone (1.0 < x <= 2.0).  A value
+        of 1.3 means two hyperthreads together achieve 1.3x one thread.
+    oversub_efficiency:
+        Efficiency factor applied when more software threads are runnable
+        than hardware contexts (time-slicing and context-switch waste).
+    """
+
+    sockets: int = 2
+    cores_per_socket: int = 18
+    smt: int = 2
+    ghz: float = 2.3
+    socket_bandwidth: float = 55e9
+    core_bandwidth: float = 13e9
+    random_access_factor: float = 0.12
+    numa_remote_fraction: float = 0.35
+    numa_penalty: float = 1.7
+    smt_throughput: float = 1.3
+    oversub_efficiency: float = 0.85
+    placement: str = "close"
+    name: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1 or self.smt < 1:
+            raise ValueError("machine topology counts must be >= 1")
+        if self.ghz <= 0:
+            raise ValueError("clock must be positive")
+        if self.socket_bandwidth <= 0 or self.core_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if not 0.0 < self.random_access_factor <= 1.0:
+            raise ValueError("random_access_factor must be in (0, 1]")
+        if not 0.0 <= self.numa_remote_fraction <= 1.0:
+            raise ValueError("numa_remote_fraction must be in [0, 1]")
+        if self.numa_penalty < 1.0:
+            raise ValueError("numa_penalty must be >= 1")
+        if not 1.0 <= self.smt_throughput <= float(self.smt):
+            raise ValueError("smt_throughput must be in [1, smt]")
+        if not 0.0 < self.oversub_efficiency <= 1.0:
+            raise ValueError("oversub_efficiency must be in (0, 1]")
+        if self.placement not in ("close", "spread"):
+            raise ValueError("placement must be 'close' or 'spread'")
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    @property
+    def physical_cores(self) -> int:
+        """Total physical cores across all sockets."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def hw_threads(self) -> int:
+        """Total hardware thread contexts (cores x SMT)."""
+        return self.physical_cores * self.smt
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Aggregate streaming bandwidth of all sockets, bytes/second."""
+        return self.sockets * self.socket_bandwidth
+
+    def sockets_spanned(self, nthreads: int) -> int:
+        """Number of sockets ``nthreads`` touch under this placement.
+
+        ``placement="close"`` (``OMP_PROC_BIND=close`` over
+        ``OMP_PLACES=cores``): threads fill socket 0's physical cores,
+        then socket 1's, SMT contexts last — the sane affinity for the
+        paper's runs, whose plots scale through 36 = all physical cores.
+
+        ``placement="spread"``: threads round-robin across sockets, so
+        two threads already span both — more memory bandwidth early, at
+        the price of NUMA traffic (see ``bench_ablation_placement``).
+        """
+        if nthreads <= 0:
+            raise ValueError("nthreads must be positive")
+        if self.placement == "spread":
+            return min(self.sockets, nthreads)
+        placed_cores = min(nthreads, self.physical_cores)
+        return min(self.sockets, -(-placed_cores // self.cores_per_socket))
+
+    # ------------------------------------------------------------------
+    # compute throughput
+    # ------------------------------------------------------------------
+    def compute_speed(self, nthreads: int) -> float:
+        """Per-software-thread compute speed relative to one thread alone.
+
+        Three regimes of ``nthreads`` software threads on this machine:
+
+        - up to one per physical core: full speed (1.0);
+        - up to one per hardware context: SMT contexts share a core, so
+          each runs at ``smt_throughput / smt`` of full speed;
+        - beyond the hardware contexts: the OS time-slices, so aggregate
+          throughput is capped at ``hw_threads`` contexts running at SMT
+          speed, scaled by ``oversub_efficiency``, and shared evenly.
+        """
+        if nthreads <= 0:
+            raise ValueError("nthreads must be positive")
+        if nthreads <= self.physical_cores:
+            return 1.0
+        if nthreads <= self.hw_threads:
+            # Some cores host multiple contexts.  Model the average:
+            # total throughput grows from physical_cores (all singles) to
+            # physical_cores * smt_throughput (all doubled).
+            doubled = nthreads - self.physical_cores
+            total = (self.physical_cores - doubled) + doubled * self.smt_throughput
+            return total / nthreads
+        total = self.physical_cores * self.smt_throughput * self.oversub_efficiency
+        return total / nthreads
+
+    # ------------------------------------------------------------------
+    # memory bandwidth
+    # ------------------------------------------------------------------
+    def bandwidth_per_thread(self, nthreads: int, locality: float = 1.0) -> float:
+        """Sustainable memory bandwidth for each of ``nthreads`` active
+        threads, in bytes/second.
+
+        The per-thread bandwidth is the roofline minimum of what a single
+        core can draw and a fair share of the sockets actually spanned.
+        ``locality`` in [0, 1] linearly interpolates between fully random
+        access (``random_access_factor`` of streaming bandwidth) and pure
+        streaming.  A NUMA surcharge applies once the computation spans
+        more than one socket.
+        """
+        if not 0.0 <= locality <= 1.0:
+            raise ValueError("locality must be in [0, 1]")
+        loc_factor = self.random_access_factor + locality * (1.0 - self.random_access_factor)
+        spanned = self.sockets_spanned(nthreads)
+        aggregate = spanned * self.socket_bandwidth * loc_factor
+        share = aggregate / nthreads
+        per_core_cap = self.core_bandwidth * loc_factor
+        bw = min(per_core_cap, share)
+        if spanned > 1 and self.numa_remote_fraction > 0.0:
+            # remote_fraction of the bytes cost numa_penalty times more.
+            slowdown = 1.0 + self.numa_remote_fraction * (self.numa_penalty - 1.0)
+            bw /= slowdown
+        return bw
+
+
+#: The paper's testbed: two-socket Xeon E5-2699v3 (Haswell-EP), 36 cores,
+#: two-way HT, 2.3 GHz, DDR4-2133.  Bandwidth figures are typical STREAM
+#: results for that platform.
+PAPER_MACHINE = Machine(
+    sockets=2,
+    cores_per_socket=18,
+    smt=2,
+    ghz=2.3,
+    socket_bandwidth=55e9,
+    core_bandwidth=13e9,
+    name="xeon-e5-2699v3-2s",
+)

@@ -1,0 +1,91 @@
+"""Roofline-style task duration model.
+
+A simulated task carries ``work`` (seconds of pure compute on one core at
+nominal clock, nothing else running) and ``membytes`` (bytes of memory
+traffic it generates past the private caches) with a ``locality`` factor
+describing how cache/prefetcher friendly that traffic is.
+
+:class:`MemoryModel` converts these into a wall-clock duration given how
+many threads are concurrently active: compute time is scaled by the
+machine's SMT/oversubscription speed, memory time by the per-thread
+bandwidth share, and the task takes the roofline maximum of the two
+(compute and memory transfer overlap on out-of-order cores).
+
+This model is what produces the scaling plateaus the paper observes for
+bandwidth-bound workloads (Axpy, BFS) without any change to the
+schedulers; ``benchmarks/bench_ablation_bandwidth.py`` ablates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.machine import Machine
+
+__all__ = ["MemoryModel"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Task duration model bound to a :class:`~repro.sim.machine.Machine`.
+
+    Parameters
+    ----------
+    machine:
+        The machine whose bandwidth/SMT parameters to use.
+    enabled:
+        When False, memory traffic is ignored and a task's duration is its
+        compute time only (used by the bandwidth ablation).
+    overlap:
+        When True (default) compute and memory time overlap (duration is
+        their max); when False they serialize (duration is their sum),
+        modelling in-order cores.
+    """
+
+    machine: Machine
+    enabled: bool = True
+    overlap: bool = True
+
+    def duration(
+        self,
+        work: float,
+        membytes: float = 0.0,
+        locality: float = 1.0,
+        active: int = 1,
+    ) -> float:
+        """Wall-clock seconds for one task.
+
+        Parameters
+        ----------
+        work:
+            Seconds of compute on an unshared core.
+        membytes:
+            Bytes of memory traffic beyond private caches.
+        locality:
+            Access pattern friendliness in [0, 1] (1 = streaming).
+        active:
+            Number of software threads concurrently active machine-wide,
+            used to compute both the SMT compute share and the bandwidth
+            share.  Clamped to at least 1.
+        """
+        if work < 0 or membytes < 0:
+            raise ValueError("work and membytes must be non-negative")
+        active = max(1, active)
+        compute = work / self.machine.compute_speed(active)
+        if not self.enabled or membytes == 0.0:
+            return compute
+        bw = self.machine.bandwidth_per_thread(active, locality)
+        mem = membytes / bw
+        if self.overlap:
+            return max(compute, mem)
+        return compute + mem
+
+    def loop_chunk_duration(
+        self,
+        work: float,
+        membytes: float,
+        locality: float,
+        active: int,
+    ) -> float:
+        """Alias of :meth:`duration` for readability at loop call sites."""
+        return self.duration(work, membytes, locality, active)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.base import ExecContext
+from repro.sim.costs import CostModel
+from repro.sim.machine import PAPER_MACHINE, Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """The paper's two-socket Xeon."""
+    return PAPER_MACHINE
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """A small machine for fast event-driven tests."""
+    return Machine(sockets=2, cores_per_socket=4, smt=2, name="small")
+
+
+@pytest.fixture
+def ctx() -> ExecContext:
+    return ExecContext()
+
+
+@pytest.fixture
+def small_ctx(small_machine: Machine) -> ExecContext:
+    return ExecContext(machine=small_machine)
+
+
+@pytest.fixture
+def costs() -> CostModel:
+    return CostModel()

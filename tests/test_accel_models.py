@@ -1,0 +1,90 @@
+"""Tests for the accelerator front-ends (CUDA / OpenACC / OpenMP target)."""
+
+import pytest
+
+from repro.models import cuda, openacc, openmp
+from repro.runtime.run import execute_region, run_program
+from repro.sim.device import Device
+from repro.sim.task import IterSpace, Program
+
+
+@pytest.fixture
+def space():
+    return IterSpace.uniform(500_000, 0.1e-9, 24.0)
+
+
+class TestCuda:
+    def test_kernel_launch_region(self, space, ctx):
+        r = cuda.kernel_launch(space, copy_in=1e6, copy_out=1e6)
+        res = execute_region(r, 1, ctx)
+        assert res.meta["h2d"] > 0 and res.meta["d2h"] > 0
+
+    def test_stream_is_async(self, space, ctx):
+        sync = execute_region(cuda.kernel_launch(space, copy_in=1e7, copy_out=1e7), 1, ctx)
+        stream = execute_region(
+            cuda.kernel_launch(space, copy_in=1e7, copy_out=1e7, stream=True), 1, ctx
+        )
+        assert stream.time < sync.time
+        assert stream.meta["async"] is True
+
+    def test_memcpy_bytes_helper(self):
+        assert cuda.memcpy_bytes(8.0, 16.0) == 24.0
+        with pytest.raises(ValueError):
+            cuda.memcpy_bytes(-1.0)
+
+
+class TestOpenACC:
+    def test_parallel_region(self, space, ctx):
+        res = execute_region(openacc.parallel_region(space, copyin=1e6), 1, ctx)
+        assert res.time > 0
+
+    def test_data_region_amortizes_transfers(self, space, ctx):
+        n_loops = 8
+        percall = Program("percall")
+        for _ in range(n_loops):
+            percall.add(openacc.parallel_region(space, copyin=1.2e7, copyout=4e6))
+        region = Program("dataregion")
+        openacc.data_region(region, [space] * n_loops, copyin=1.2e7, copyout=4e6)
+        t_percall = run_program(percall, 1, ctx).time
+        t_region = run_program(region, 1, ctx).time
+        assert t_region < t_percall
+
+    def test_data_region_structure(self, space, ctx):
+        prog = Program("p")
+        openacc.data_region(prog, [space, space], copyin=1e6, copyout=1e6)
+        # copyin + 2 loops + copyout
+        assert len(prog) == 4
+
+    def test_data_region_no_transfers(self, space):
+        prog = Program("p")
+        openacc.data_region(prog, [space])
+        assert len(prog) == 1
+
+
+class TestOpenMPTarget:
+    def test_target_region(self, space, ctx):
+        r = openmp.target_parallel_for(space, map_to=1e6, map_from=1e6)
+        res = execute_region(r, 1, ctx)
+        assert res.meta["h2d"] > 0
+
+    def test_nowait_overlaps(self, space, ctx):
+        sync = execute_region(
+            openmp.target_parallel_for(space, map_to=1e7, map_from=1e7), 1, ctx
+        )
+        nowait = execute_region(
+            openmp.target_parallel_for(space, map_to=1e7, map_from=1e7, nowait=True), 1, ctx
+        )
+        assert nowait.time < sync.time
+
+    def test_custom_device_threaded_through(self, space, ctx):
+        dev = Device(compute_ratio=500, name="mic")
+        res = execute_region(openmp.target_parallel_for(space, device=dev), 1, ctx)
+        assert res.meta["device"] == "mic"
+
+    def test_offloading_models_agree_on_same_inputs(self, space, ctx):
+        """CUDA launch, ACC parallel and OMP target with identical traffic
+        produce identical simulated times (same underlying mechanism)."""
+        t_cuda = execute_region(cuda.kernel_launch(space, copy_in=1e6), 1, ctx).time
+        t_acc = execute_region(openacc.parallel_region(space, copyin=1e6), 1, ctx).time
+        t_omp = execute_region(openmp.target_parallel_for(space, map_to=1e6), 1, ctx).time
+        assert t_cuda == pytest.approx(t_acc) == pytest.approx(t_omp)

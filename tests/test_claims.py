@@ -1,0 +1,43 @@
+"""Acceptance tests: every finding of the paper must reproduce.
+
+These run the full claim battery (section IV's qualitative statements
+encoded as predicates) on the default reduced problem sizes.  They are
+the slowest tests in the suite (~15 s total) and the most important.
+"""
+
+import pytest
+
+from repro.core.claims import ALL_CLAIMS, SweepCache, check_claim, run_all_claims
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return SweepCache()
+
+
+class TestClaimFramework:
+    def test_eleven_claims(self):
+        assert len(ALL_CLAIMS) == 11
+
+    def test_ids_unique(self):
+        ids = [c.claim_id for c in ALL_CLAIMS]
+        assert len(set(ids)) == len(ids)
+
+    def test_every_claim_quotes_the_paper(self):
+        for c in ALL_CLAIMS:
+            assert len(c.paper_says) > 20
+
+    def test_unknown_claim_id(self):
+        with pytest.raises(KeyError):
+            check_claim("axpy_is_fast")
+
+    def test_result_str_format(self, cache):
+        r = check_claim("fib_cxx_hangs", cache)
+        assert str(r).startswith("[PASS]") or str(r).startswith("[FAIL]")
+
+
+@pytest.mark.parametrize("claim_id", [c.claim_id for c in ALL_CLAIMS])
+def test_paper_claim_reproduces(claim_id, cache):
+    """Each of the paper's findings holds in the simulation."""
+    result = check_claim(claim_id, cache)
+    assert result.passed, f"{claim_id}: {result.details}\npaper: {result.paper_says}"

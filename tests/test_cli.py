@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(["figure", "axpy", "--threads", "1", "4"])
+        assert args.workload == "axpy"
+        assert args.threads == [1, 4]
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out and "TABLE III" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "axpy" in out and "srad" in out and "Fig. 9" in out
+
+    def test_machine(self, capsys):
+        assert main(["machine"]) == 0
+        out = capsys.readouterr().out
+        assert "36 physical cores" in out
+
+    def test_figure(self, capsys):
+        assert main(["figure", "axpy", "--threads", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "cilk_for" in out and "p=4" in out
+
+    def test_figure_chart(self, capsys):
+        assert main(["figure", "matmul", "--threads", "1", "2"]) == 0
+
+    def test_figure_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["figure", "nbody"])
+
+    def test_compare(self, capsys):
+        assert main(["compare", "openmp", "cilk", "tbb"]) == 0
+        out = capsys.readouterr().out
+        assert "OpenMP" in out and "TBB" in out
+
+    def test_microbench(self, capsys):
+        assert main(["microbench", "--threads", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "barrier" in out
+
+    def test_offload(self, capsys):
+        assert main(["offload", "--n", "1000000", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "host" in out

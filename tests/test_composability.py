@@ -1,0 +1,65 @@
+"""Tests for the composability (nested parallelism) study."""
+
+import pytest
+
+from repro.extensions.composability import (
+    OS_QUANTUM,
+    composability_study,
+    nested_times,
+    render_composability,
+)
+from repro.runtime.base import ExecContext
+
+CTX = ExecContext()
+
+
+class TestNestedTimes:
+    def test_strategies_present(self):
+        t = nested_times(CTX, 8)
+        assert set(t) == {"omp_nested", "omp_serialized", "cilk"}
+        assert all(v > 0 for v in t.values())
+
+    def test_nested_fine_within_hw_contexts(self):
+        """p^2 <= hw threads: nesting exploits real extra parallelism."""
+        t = nested_times(CTX, 8)  # 64 threads on 72 contexts
+        assert t["omp_nested"] < t["omp_serialized"]
+
+    def test_nested_collapses_when_oversubscribed(self):
+        """The paper's claim: mandatory static teams oversubscribe."""
+        t = nested_times(CTX, 36)  # 1296 threads on 72 contexts
+        assert t["omp_nested"] > 5 * t["cilk"]
+        assert t["omp_nested"] > 5 * t["omp_serialized"]
+
+    def test_cilk_composes_flat(self):
+        """Work grows with p (outer = p) and Cilk absorbs it at the
+        serialized-equivalent time — perfect composition."""
+        t8 = nested_times(CTX, 8)["cilk"]
+        t36 = nested_times(CTX, 36)["cilk"]
+        assert t36 == pytest.approx(t8, rel=0.15)
+
+    def test_descheduled_barrier_scale(self):
+        """The oversubscribed inner barrier is OS-quantum scale."""
+        t = nested_times(CTX, 36)
+        assert t["omp_nested"] > OS_QUANTUM
+
+    def test_explicit_outer(self):
+        small = nested_times(CTX, 8, outer=2)
+        big = nested_times(CTX, 8, outer=16)
+        assert big["cilk"] > small["cilk"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nested_times(CTX, 8, outer=0)
+
+
+class TestStudy:
+    def test_sweep_shapes(self):
+        threads = (4, 16)
+        res = composability_study(CTX, threads=threads)
+        assert all(len(v) == 2 for v in res.values())
+
+    def test_render(self):
+        threads = (4, 16)
+        res = composability_study(CTX, threads=threads)
+        text = render_composability(res, threads)
+        assert "omp_nested" in text and "p=16" in text

@@ -1,0 +1,164 @@
+"""Tests for the comparison framework: registry, experiment, metrics, report."""
+
+import pytest
+
+from repro.core.experiment import PAPER_THREADS, SweepResult, run_experiment
+from repro.core.metrics import (
+    best_version,
+    crossover_threads,
+    efficiency,
+    gap,
+    scaling_plateau,
+    speedup,
+    version_ratio,
+)
+from repro.core.registry import WORKLOADS, get_workload
+from repro.core.report import ascii_chart, figure_table, render_sweep, summary_line
+from repro.runtime.base import ExecContext
+
+
+@pytest.fixture(scope="module")
+def axpy_sweep():
+    return run_experiment("axpy", threads=(1, 2, 4, 8), n=500_000)
+
+
+@pytest.fixture(scope="module")
+def fib_sweep():
+    # includes the exploding cxx_async version
+    return run_experiment("fib", threads=(1, 2, 4), n=16)
+
+
+class TestRegistry:
+    def test_ten_workloads(self):
+        assert len(WORKLOADS) == 10
+        assert {"axpy", "sum", "matvec", "matmul", "fib",
+                "bfs", "hotspot", "lud", "lavamd", "srad"} == set(WORKLOADS)
+
+    def test_each_has_figure(self):
+        for spec in WORKLOADS.values():
+            assert spec.figure.startswith("Fig.")
+
+    def test_fib_task_only(self):
+        spec = get_workload("fib")
+        assert "omp_for" not in spec.versions
+        assert "omp_task" in spec.versions
+
+    def test_paper_params_recorded(self):
+        assert get_workload("axpy").paper_params["n"] == 100_000_000
+        assert get_workload("bfs").paper_params["n_nodes"] == 16_000_000
+        assert get_workload("hotspot").paper_params["grid"] == 8192
+
+    def test_build_rejects_bad_version(self):
+        with pytest.raises(ValueError):
+            get_workload("axpy").build("tbb_for", ExecContext().machine)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("nbody")
+
+
+class TestExperiment:
+    def test_paper_threads_constant(self):
+        assert PAPER_THREADS == (1, 2, 4, 8, 16, 32, 36)
+
+    def test_sweep_has_all_cells(self, axpy_sweep):
+        assert len(axpy_sweep.versions) == 6
+        for v in axpy_sweep.versions:
+            assert len(axpy_sweep.times(v)) == 4
+            for p in axpy_sweep.threads:
+                assert axpy_sweep.time(v, p) > 0
+
+    def test_time_accessor_matches_series(self, axpy_sweep):
+        v = axpy_sweep.versions[0]
+        assert axpy_sweep.time(v, 2) == axpy_sweep.times(v)[1]
+
+    def test_restricted_versions(self):
+        s = run_experiment("axpy", versions=["omp_for", "cilk_for"], threads=(1, 2), n=100_000)
+        assert s.versions == ("omp_for", "cilk_for")
+
+    def test_invalid_version_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("axpy", versions=["cuda"], threads=(1,))
+
+    def test_errors_recorded_not_raised(self, fib_sweep):
+        # cxx_async fib(16) has 4806 tasks < cap: runs; use bigger n via cap
+        assert isinstance(fib_sweep, SweepResult)
+
+    def test_explosion_recorded_as_error(self):
+        s = run_experiment("fib", versions=["cxx_async"], threads=(2,), n=21)
+        assert ("cxx_async", 2) in s.errors
+        assert s.times("cxx_async") == [None]
+        with pytest.raises(RuntimeError):
+            s.time("cxx_async", 2)
+
+    def test_figure_attached(self, axpy_sweep):
+        assert axpy_sweep.figure == "Fig. 1"
+
+
+class TestMetrics:
+    def test_speedup_baseline_one(self, axpy_sweep):
+        sp = speedup(axpy_sweep, "omp_for")
+        assert sp[0] == pytest.approx(1.0)
+        assert all(s >= 0.9 for s in sp)
+
+    def test_efficiency_bounded(self, axpy_sweep):
+        for e in efficiency(axpy_sweep, "omp_for"):
+            assert 0 < e <= 1.05
+
+    def test_best_version_is_fastest(self, axpy_sweep):
+        p = 4
+        best = best_version(axpy_sweep, p)
+        t_best = axpy_sweep.time(best, p)
+        assert all(axpy_sweep.time(v, p) >= t_best for v in axpy_sweep.versions)
+
+    def test_gap_of_best_is_one(self, axpy_sweep):
+        best = best_version(axpy_sweep, 4)
+        assert gap(axpy_sweep, best, 4) == pytest.approx(1.0)
+
+    def test_version_ratio_symmetry(self, axpy_sweep):
+        r = version_ratio(axpy_sweep, "cilk_for", "omp_for", 4)
+        r_inv = version_ratio(axpy_sweep, "omp_for", "cilk_for", 4)
+        assert r * r_inv == pytest.approx(1.0)
+
+    def test_cilk_gap_positive(self, axpy_sweep):
+        assert gap(axpy_sweep, "cilk_for", 4) > 1.2
+
+    def test_scaling_plateau(self, axpy_sweep):
+        p = scaling_plateau(axpy_sweep, "omp_for")
+        assert p in axpy_sweep.threads
+
+    def test_crossover_none_when_always_faster(self, axpy_sweep):
+        assert crossover_threads(axpy_sweep, "omp_for", "cilk_for") is None
+
+    def test_speedup_requires_one_thread_baseline(self):
+        s = run_experiment("axpy", versions=["omp_for"], threads=(2, 4), n=100_000)
+        with pytest.raises(ValueError):
+            speedup(s, "omp_for")
+
+
+class TestReport:
+    def test_figure_table_contains_versions_and_threads(self, axpy_sweep):
+        t = figure_table(axpy_sweep)
+        for v in axpy_sweep.versions:
+            assert v in t
+        assert "p=8" in t
+
+    def test_summary_line_names_winner_and_loser(self, axpy_sweep):
+        line = summary_line(axpy_sweep, 4)
+        assert "fastest" in line and "slowest" in line
+        assert "cilk_for" in line  # the known loser
+
+    def test_render_sweep_composite(self, axpy_sweep):
+        out = render_sweep(axpy_sweep, chart=True)
+        assert "worst=" in out and "#" in out
+
+    def test_hang_rendered(self):
+        s = run_experiment("fib", versions=["cxx_async", "omp_task"], threads=(2,), n=21)
+        t = figure_table(s)
+        assert "HANG" in t
+        line = summary_line(s, 2)
+        assert "hung: cxx_async" in line
+
+    def test_ascii_chart_handles_no_data(self):
+        s = run_experiment("fib", versions=["cxx_async"], threads=(2,), n=21)
+        assert "no successful runs" in ascii_chart(s)

@@ -1,0 +1,93 @@
+"""Tests for the accelerator device model and offload executor."""
+
+import pytest
+
+from repro.runtime.offload import run_offload_loop
+from repro.sim.device import K40, Device
+from repro.sim.task import IterSpace
+
+
+@pytest.fixture
+def space():
+    # axpy-like: 1M iterations, 24 B and 2 flops each
+    return IterSpace.uniform(1_000_000, 0.1e-9, 24.0)
+
+
+class TestDevice:
+    def test_k40_defaults(self):
+        assert K40.compute_ratio > 1
+        assert K40.memory_bandwidth > K40.link_bandwidth
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"compute_ratio": 0},
+            {"memory_bandwidth": -1},
+            {"link_bandwidth": 0},
+            {"link_latency": -1e-9},
+            {"launch_overhead": -1e-9},
+            {"min_parallel_iters": 0},
+            {"random_access_factor": 0},
+            {"random_access_factor": 2},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Device(**kwargs)
+
+    def test_occupancy_knee(self):
+        assert K40.occupancy(K40.min_parallel_iters) == 1.0
+        assert K40.occupancy(K40.min_parallel_iters // 2) == pytest.approx(0.5)
+        assert K40.occupancy(10 * K40.min_parallel_iters) == 1.0
+        with pytest.raises(ValueError):
+            K40.occupancy(0)
+
+    def test_small_kernels_run_inefficiently(self):
+        big = IterSpace.uniform(1_000_000, 1e-9)
+        small = IterSpace.uniform(1_000, 1e-9)
+        # per-iteration cost is higher for the small kernel
+        t_big = (K40.kernel_time(big) - K40.launch_overhead) / 1_000_000
+        t_small = (K40.kernel_time(small) - K40.launch_overhead) / 1_000
+        assert t_small > t_big
+
+    def test_kernel_roofline(self, space):
+        t = K40.kernel_time(space)
+        mem_floor = space.total_bytes / K40.memory_bandwidth
+        assert t >= mem_floor
+        assert t >= K40.launch_overhead
+
+    def test_random_access_slows_kernel(self):
+        stream = IterSpace.uniform(1_000_000, 0.0, 8.0, locality=1.0)
+        rand = IterSpace.uniform(1_000_000, 0.0, 8.0, locality=0.0)
+        assert K40.kernel_time(rand) > K40.kernel_time(stream)
+
+    def test_transfer_time(self):
+        assert K40.transfer_time(0) == 0.0
+        t = K40.transfer_time(1e9)
+        assert t == pytest.approx(K40.link_latency + 1e9 / K40.link_bandwidth)
+        with pytest.raises(ValueError):
+            K40.transfer_time(-1)
+
+
+class TestOffloadExecutor:
+    def test_sync_sums_stages(self, space, ctx):
+        res = run_offload_loop(space, 1, ctx, to_bytes=1e6, from_bytes=5e5)
+        assert res.time == pytest.approx(
+            res.meta["h2d"] + res.meta["kernel"] + res.meta["d2h"]
+        )
+
+    def test_resident_skips_transfers(self, space, ctx):
+        moving = run_offload_loop(space, 1, ctx, to_bytes=1e8, from_bytes=1e8)
+        resident = run_offload_loop(space, 1, ctx, to_bytes=1e8, from_bytes=1e8, resident=True)
+        assert resident.time < moving.time
+        assert resident.meta["h2d"] == 0.0
+
+    def test_async_overlap_hides_shorter_stage(self, space, ctx):
+        sync = run_offload_loop(space, 1, ctx, to_bytes=1e6, from_bytes=1e6)
+        over = run_offload_loop(space, 1, ctx, to_bytes=1e6, from_bytes=1e6, async_overlap=True)
+        assert over.time < sync.time
+
+    def test_custom_device(self, space, ctx):
+        fast = Device(compute_ratio=1000, name="fast")
+        res = run_offload_loop(space, 1, ctx, device=fast)
+        assert res.meta["device"] == "fast"

@@ -1,0 +1,124 @@
+"""Tests for the discrete-event engine and the SimLock resource."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimLock
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        seen = []
+        eng.at(3.0, lambda: seen.append("c"))
+        eng.at(1.0, lambda: seen.append("a"))
+        eng.at(2.0, lambda: seen.append("b"))
+        eng.run()
+        assert seen == ["a", "b", "c"]
+        assert eng.now == 3.0
+
+    def test_ties_break_by_insertion_order(self):
+        eng = Engine()
+        seen = []
+        for tag in ("first", "second", "third"):
+            eng.at(1.0, lambda t=tag: seen.append(t))
+        eng.run()
+        assert seen == ["first", "second", "third"]
+
+    def test_callbacks_can_schedule_more(self):
+        eng = Engine()
+        seen = []
+
+        def chain(k):
+            seen.append(k)
+            if k < 5:
+                eng.after(1.0, lambda: chain(k + 1))
+
+        eng.at(0.0, lambda: chain(0))
+        eng.run()
+        assert seen == [0, 1, 2, 3, 4, 5]
+        assert eng.now == 5.0
+
+    def test_cannot_schedule_in_past(self):
+        eng = Engine()
+        eng.at(5.0, lambda: eng.at(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            eng.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().after(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        eng = Engine()
+        seen = []
+        eng.at(1.0, lambda: seen.append(1))
+        eng.at(10.0, lambda: seen.append(10))
+        eng.run(until=5.0)
+        assert seen == [1]
+        assert eng.pending == 1
+        eng.run()
+        assert seen == [1, 10]
+
+    def test_max_events_guard(self):
+        eng = Engine()
+
+        def forever():
+            eng.after(1.0, forever)
+
+        eng.at(0.0, forever)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            eng.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for i in range(7):
+            eng.at(float(i), lambda: None)
+        eng.run()
+        assert eng.events_processed == 7
+
+    def test_empty_run_returns_now(self):
+        eng = Engine()
+        assert eng.run() == 0.0
+
+
+class TestSimLock:
+    def test_uncontended_grant_is_immediate(self):
+        lock = SimLock()
+        assert lock.acquire(5.0, 1.0) == 5.0
+        assert lock.busy_until == 6.0
+
+    def test_contended_waits_fifo(self):
+        lock = SimLock()
+        g1 = lock.acquire(0.0, 2.0)
+        g2 = lock.acquire(1.0, 2.0)
+        g3 = lock.acquire(1.5, 2.0)
+        assert (g1, g2, g3) == (0.0, 2.0, 4.0)
+
+    def test_acquire_release_returns_end(self):
+        lock = SimLock()
+        assert lock.acquire_release(3.0, 0.5) == 3.5
+
+    def test_gap_resets_contention(self):
+        lock = SimLock()
+        lock.acquire(0.0, 1.0)
+        assert lock.acquire(10.0, 1.0) == 10.0
+
+    def test_statistics(self):
+        lock = SimLock("d")
+        lock.acquire(0.0, 2.0)
+        lock.acquire(0.0, 2.0)  # waits 2
+        assert lock.acquisitions == 2
+        assert lock.wait_time == pytest.approx(2.0)
+        assert lock.hold_time == pytest.approx(4.0)
+        assert 0.0 < lock.contended_fraction < 1.0
+
+    def test_zero_hold_allowed(self):
+        lock = SimLock()
+        assert lock.acquire(1.0, 0.0) == 1.0
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ValueError):
+            SimLock().acquire(0.0, -1.0)
+
+    def test_fresh_lock_uncontended_fraction_zero(self):
+        assert SimLock().contended_fraction == 0.0

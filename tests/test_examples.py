@@ -1,0 +1,70 @@
+"""Smoke tests for the example scripts.
+
+The fast examples run end-to-end in a subprocess; the two long studies
+(kernel_study, rodinia_study) are compile-checked and their figure
+machinery is already covered by the benchmark suite.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Fig. 1" in out
+        assert "[PASS]" in out
+        assert "TABLE I" in out
+
+    def test_features_guide(self):
+        out = run_example("features_guide.py")
+        assert "TABLE III" in out
+        assert "OpenMP with 13 of 13" in out
+
+    def test_offload_demo(self):
+        out = run_example("offload_demo.py", "--n", "1000000")
+        assert "resident" in out
+        assert "crossover" in out
+
+    def test_native_scaling(self):
+        out = run_example("native_scaling.py", "--n", "500000")
+        assert "matches reference: True" in out
+
+    def test_scheduler_traces(self):
+        out = run_example("scheduler_traces.py")
+        assert "cilk_for splitter tree" in out
+        assert "w0" in out  # gantt rows
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "kernel_study.py",
+        "rodinia_study.py",
+        "features_guide.py",
+        "native_scaling.py",
+        "offload_demo.py",
+        "scheduler_traces.py",
+        "extension_studies.py",
+    ],
+)
+def test_examples_compile(name):
+    py_compile.compile(str(EXAMPLES / name), doraise=True)

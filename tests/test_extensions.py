@@ -1,0 +1,143 @@
+"""Tests for the extension studies: UTS, wavefront, offload."""
+
+import pytest
+
+from repro.extensions import offload_study, uts, wavefront
+from repro.runtime.base import ExecContext
+from repro.runtime.run import run_program
+from repro.sim.machine import PAPER_MACHINE
+
+CTX = ExecContext()
+
+
+class TestUTSTree:
+    def test_deterministic(self):
+        a = uts.generate_tree(seed=5, max_nodes=5_000)
+        b = uts.generate_tree(seed=5, max_nodes=5_000)
+        assert a.parents == b.parents
+
+    def test_seed_changes_tree(self):
+        a = uts.generate_tree(seed=5, max_nodes=5_000)
+        b = uts.generate_tree(seed=6, max_nodes=5_000)
+        assert a.parents != b.parents
+
+    def test_capped_at_max_nodes(self):
+        tree = uts.generate_tree(max_nodes=2_000)
+        assert tree.n_nodes <= 2_000 + 2  # last expansion may overshoot by m
+
+    def test_subtree_sizes_consistent(self):
+        tree = uts.generate_tree(max_nodes=3_000)
+        sizes = tree.subtree_sizes()
+        assert sizes[0] == tree.n_nodes
+        top = [i for i, p in enumerate(tree.parents) if p == 0]
+        assert sum(int(sizes[i]) for i in top) == tree.n_nodes - 1
+
+    def test_subtrees_are_imbalanced(self):
+        tree = uts.generate_tree(max_nodes=30_000)
+        sizes = tree.subtree_sizes()
+        top = sorted(int(sizes[i]) for i in tree_top(tree))
+        assert top[-1] > 5 * max(1, top[len(top) // 2])  # heavy tail
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uts.generate_tree(b0=0)
+        with pytest.raises(ValueError):
+            uts.generate_tree(q=1.0)
+        with pytest.raises(ValueError):
+            uts.generate_tree(max_nodes=0)
+
+
+def tree_top(tree):
+    return [i for i, p in enumerate(tree.parents) if p == 0]
+
+
+class TestUTSPrograms:
+    @pytest.mark.parametrize("version", uts.VERSIONS)
+    def test_versions_run(self, version):
+        prog = uts.program(version, machine=PAPER_MACHINE, max_nodes=3_000)
+        res = run_program(prog, 8, CTX, version)
+        assert res.time > 0
+
+    def test_unknown_version(self):
+        with pytest.raises(ValueError):
+            uts.program("cuda", machine=PAPER_MACHINE)
+
+    def test_stealing_beats_static_partition(self):
+        """The headline UTS result: dynamic load balancing wins big."""
+        times = {}
+        for v in ("omp_task", "cxx_static"):
+            prog = uts.program(v, machine=PAPER_MACHINE, max_nodes=20_000)
+            times[v] = run_program(prog, 16, CTX, v).time
+        assert times["omp_task"] < times["cxx_static"] / 2
+
+    def test_cilk_at_least_as_good_as_omp(self):
+        times = {}
+        for v in ("omp_task", "cilk_spawn"):
+            prog = uts.program(v, machine=PAPER_MACHINE, max_nodes=20_000)
+            times[v] = run_program(prog, 8, CTX, v).time
+        assert times["cilk_spawn"] <= times["omp_task"]
+
+
+class TestWavefront:
+    def test_graph_structure(self):
+        g = wavefront.wavefront_graph(4, 1e-6)
+        assert len(g) == 16
+        g.validate()
+        # corner block depends on nothing; interior on two
+        assert g.tasks[0].deps == ()
+        assert len(g.tasks[5].deps) == 2
+
+    def test_graph_validation(self):
+        with pytest.raises(ValueError):
+            wavefront.wavefront_graph(0, 1e-6)
+        with pytest.raises(ValueError):
+            wavefront.wavefront_graph(4, -1.0)
+
+    def test_critical_path_is_2nb_minus_1(self):
+        g = wavefront.wavefront_graph(6, 1e-6)
+        assert g.critical_path() == pytest.approx(11e-6)
+
+    @pytest.mark.parametrize("version", wavefront.VERSIONS)
+    def test_versions_run(self, version):
+        prog = wavefront.program(version, machine=PAPER_MACHINE, nb=12)
+        res = run_program(prog, 8, CTX, version)
+        assert res.time > 0
+
+    def test_unknown_version(self):
+        with pytest.raises(ValueError):
+            wavefront.program("mpi", machine=PAPER_MACHINE)
+
+    def test_depend_beats_barriers_at_scale(self):
+        """The point of the depend clause: no 2nb-1 barrier sequence."""
+        times = {}
+        for v in ("omp_depend", "omp_for_diag"):
+            prog = wavefront.program(v, machine=PAPER_MACHINE, nb=32)
+            times[v] = run_program(prog, 16, CTX, v).time
+        assert times["omp_depend"] < times["omp_for_diag"]
+
+    def test_barrier_version_region_count(self):
+        prog = wavefront.program("omp_for_diag", machine=PAPER_MACHINE, nb=10)
+        assert len(prog) == 19  # 2nb - 1 diagonals
+
+
+class TestOffloadStudy:
+    def test_per_call_transfers_lose_on_bandwidth_bound(self):
+        cmp = offload_study.axpy_offload_study(CTX, n=2_000_000, iterations=5)
+        assert not cmp.per_call_wins
+
+    def test_residency_amortizes(self):
+        few = offload_study.axpy_offload_study(CTX, n=2_000_000, iterations=1)
+        many = offload_study.axpy_offload_study(CTX, n=2_000_000, iterations=40)
+        assert many.device_resident / many.host_time < few.device_resident / few.host_time
+        assert many.resident_wins
+
+    def test_crossover_found(self):
+        cross = offload_study.crossover_iterations(CTX, n=2_000_000, max_iterations=64)
+        assert cross is not None
+        before = offload_study.axpy_offload_study(CTX, n=2_000_000, iterations=cross - 1)
+        after = offload_study.axpy_offload_study(CTX, n=2_000_000, iterations=cross)
+        assert not before.resident_wins and after.resident_wins
+
+    def test_describe_mentions_winner(self):
+        cmp = offload_study.axpy_offload_study(CTX, n=2_000_000, iterations=2)
+        assert "wins" in cmp.describe()

@@ -1,0 +1,167 @@
+"""Tests for the feature database (Tables I-III)."""
+
+import pytest
+
+from repro.features import (
+    ALL_MODELS,
+    MODELS,
+    FeatureSet,
+    Support,
+    compare,
+    get_model,
+    models_supporting,
+    recommend,
+    render_table1,
+    render_table2,
+    render_table3,
+    support_matrix,
+)
+from repro.features.model import FEATURE_FIELDS
+from repro.features.tables import table1_rows, table2_rows, table3_rows
+
+
+class TestSupport:
+    def test_yes_cell(self):
+        s = Support.yes("cilk_spawn")
+        assert bool(s) and s.cell() == "cilk_spawn"
+
+    def test_no_cell_is_x(self):
+        assert Support.no().cell() == "x"
+
+    def test_na_cell(self):
+        s = Support.na("N/A (host only)")
+        assert not s
+        assert s.not_applicable
+        assert s.cell() == "N/A (host only)"
+
+
+class TestDatabase:
+    def test_eight_models_in_paper_order(self):
+        names = [m.name for m in ALL_MODELS]
+        assert names == [
+            "Cilk Plus", "CUDA", "C++11", "OpenACC",
+            "OpenCL", "OpenMP", "PThreads", "TBB",
+        ]
+
+    def test_openmp_supports_everything(self):
+        omp = MODELS["OpenMP"]
+        for f in FEATURE_FIELDS:
+            assert omp.supports(f), f
+
+    def test_openmp_is_unique_in_that(self):
+        full = [m.name for m in ALL_MODELS if all(m.supports(f) for f in FEATURE_FIELDS)]
+        assert full == ["OpenMP"]
+
+    def test_host_only_models_have_no_offloading(self):
+        for name in ("Cilk Plus", "C++11", "PThreads", "TBB"):
+            assert not MODELS[name].supports("offloading")
+
+    def test_only_openmp_and_openacc_bind_fortran(self):
+        fortran = [m.name for m in ALL_MODELS if "Fortran" in m.language]
+        assert fortran == ["OpenACC", "OpenMP"]
+
+    def test_baseline_models_lack_data_parallelism(self):
+        # "PThreads and C++11 are baseline APIs"
+        assert not MODELS["C++11"].supports("data_parallelism")
+        assert not MODELS["PThreads"].supports("data_parallelism")
+
+    def test_task_parallelism_universal(self):
+        # "asynchronous tasking or threading can be viewed as the
+        # foundational parallel mechanism supported by all the models"
+        for m in ALL_MODELS:
+            assert m.supports("task_parallelism"), m.name
+
+    def test_cilk_tbb_no_barrier_by_design(self):
+        # "the concept of a thread barrier makes little sense in their model"
+        assert MODELS["TBB"].barrier.not_applicable
+        assert MODELS["Cilk Plus"].barrier.cell() == "implicit for cilk_for only"
+
+    def test_get_model_aliases(self):
+        assert get_model("openmp").name == "OpenMP"
+        assert get_model("Cilk").name == "Cilk Plus"
+        assert get_model("c++11").name == "C++11"
+        assert get_model("posix threads").name == "PThreads"
+
+    def test_get_model_unknown(self):
+        with pytest.raises(KeyError):
+            get_model("rust rayon")
+
+    def test_supports_unknown_feature(self):
+        with pytest.raises(KeyError):
+            MODELS["OpenMP"].supports("quantum")
+
+
+class TestTables:
+    def test_table1_has_paper_cells(self):
+        t = render_table1()
+        for text in ("cilk_spawn/cilk_sync", "depend (in/out/inout)",
+                     "pthread_create/join", "host and device"):
+            assert text in t
+
+    def test_table2_has_paper_cells(self):
+        cells = {c for row in table2_rows() for c in row}
+        joined = " ".join(cells)
+        for text in ("OMP_PLACES", "proc_bind clause", "reducers",
+                     "affinity_partitioner", "pthread_barrier"):
+            assert text in joined
+
+    def test_table3_has_paper_cells(self):
+        cells = " ".join(c for row in table3_rows() for c in row)
+        for text in ("locks, critical, atomic, single, master", "omp cancel",
+                     "Cilkscreen, Cilkview", "pthread_cancel"):
+            assert text in cells
+        # short tokens survive wrapping in the rendered table too
+        t = render_table3()
+        assert "omp cancel" in t and "pthread_cancel" in t
+
+    def test_rows_cover_all_models(self):
+        for rows in (table1_rows(), table2_rows(), table3_rows()):
+            assert len(rows) == 8
+            assert [r[0] for r in rows] == [m.name for m in ALL_MODELS]
+
+    def test_table1_columns(self):
+        for row in table1_rows():
+            assert len(row) == 5
+
+    def test_table2_columns(self):
+        for row in table2_rows():
+            assert len(row) == 7
+
+
+class TestQueries:
+    def test_models_supporting_offloading(self):
+        names = {m.name for m in models_supporting("offloading")}
+        assert names == {"CUDA", "OpenACC", "OpenCL", "OpenMP"}
+
+    def test_models_supporting_unknown(self):
+        with pytest.raises(KeyError):
+            models_supporting("teleportation")
+
+    def test_support_matrix_shape(self):
+        m = support_matrix()
+        assert len(m) == 8
+        assert all(set(v) == set(FEATURE_FIELDS) for v in m.values())
+
+    def test_compare_renders(self):
+        text = compare(["OpenMP", "Cilk Plus"], ["reduction", "barrier"])
+        assert "OpenMP" in text and "reduction" in text
+
+    def test_compare_unknown_feature(self):
+        with pytest.raises(KeyError):
+            compare(["OpenMP"], ["nonsense"])
+
+    def test_recommend_required_filters(self):
+        ranked = recommend(["offloading", "data_binding"])
+        assert [m.name for m, _ in ranked] == ["OpenMP"]
+
+    def test_recommend_openmp_most_comprehensive(self):
+        ranked = recommend([], list(FEATURE_FIELDS))
+        assert ranked[0][0].name == "OpenMP"
+        assert ranked[0][1] == len(FEATURE_FIELDS)
+
+    def test_recommend_empty_requirements_returns_all(self):
+        assert len(recommend([])) == 8
+
+    def test_recommend_unknown_feature(self):
+        with pytest.raises(KeyError):
+            recommend(["warp_drive"])

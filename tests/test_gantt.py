@@ -1,0 +1,80 @@
+"""Tests for execution-trace recording and Gantt rendering."""
+
+import pytest
+
+from repro.runtime.base import ExecContext
+from repro.runtime.workstealing import StealingScheduler
+from repro.sim.machine import Machine
+from repro.sim.trace import render_gantt
+from repro.sim.task import TaskGraph
+
+CTX = ExecContext(
+    machine=Machine(sockets=1, cores_per_socket=4, smt=1, smt_throughput=1.0, name="tiny")
+)
+
+
+def wide_graph(n, work=10e-6):
+    g = TaskGraph("wide")
+    for _ in range(n):
+        g.add(work, tag="body")
+    return g
+
+
+class TestRecording:
+    def test_intervals_recorded_when_asked(self):
+        sched = StealingScheduler(wide_graph(16), 4, CTX, record=True)
+        res = sched.run()
+        intervals = res.meta["intervals"]
+        assert len(intervals) == 16
+        for w, s, e, tag in intervals:
+            assert 0 <= w < 4
+            assert e > s >= 0
+            assert tag == "body"
+
+    def test_not_recorded_by_default(self):
+        res = StealingScheduler(wide_graph(8), 2, CTX).run()
+        assert "intervals" not in res.meta
+
+    def test_busy_time_matches_intervals(self):
+        sched = StealingScheduler(wide_graph(20), 4, CTX, record=True)
+        res = sched.run()
+        interval_busy = sum(e - s for _w, s, e, _t in res.meta["intervals"])
+        assert interval_busy == pytest.approx(res.total_busy, rel=1e-9)
+
+    def test_intervals_per_worker_disjoint(self):
+        sched = StealingScheduler(wide_graph(32), 4, CTX, record=True)
+        res = sched.run()
+        by_worker: dict[int, list] = {}
+        for w, s, e, _t in res.meta["intervals"]:
+            by_worker.setdefault(w, []).append((s, e))
+        for spans in by_worker.values():
+            spans.sort()
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-12, "a worker cannot run two tasks at once"
+
+
+class TestGanttRendering:
+    def test_rows_per_worker(self):
+        sched = StealingScheduler(wide_graph(16), 4, CTX, record=True)
+        res = sched.run()
+        text = render_gantt(res.meta["intervals"], 4, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 5  # header + 4 workers
+        assert lines[1].startswith("w0")
+
+    def test_busy_marks_present(self):
+        sched = StealingScheduler(wide_graph(16), 2, CTX, record=True)
+        res = sched.run()
+        text = render_gantt(res.meta["intervals"], 2, width=30)
+        assert "b" in text  # tag "body" initial
+
+    def test_empty_trace(self):
+        assert render_gantt([], 2) == "(empty trace)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_gantt([], 0)
+        with pytest.raises(ValueError):
+            render_gantt([(5, 0.0, 1.0, "x")], 2)
+        with pytest.raises(ValueError):
+            render_gantt([], 2, width=0)

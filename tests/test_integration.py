@@ -1,0 +1,99 @@
+"""Cross-module integration tests: every workload x version end to end."""
+
+import pytest
+
+from repro.core.registry import WORKLOADS, get_workload
+from repro.runtime.base import ExecContext, ThreadExplosionError
+from repro.runtime.run import run_program
+
+CTX = ExecContext()
+
+# small-but-structured parameters so the full matrix runs in seconds
+SMALL = {
+    "axpy": {"n": 200_000},
+    "sum": {"n": 200_000},
+    "matvec": {"n": 2_000},
+    "matmul": {"n": 256},
+    "fib": {"n": 14},
+    "bfs": {"n_nodes": 100_000},
+    "hotspot": {"grid": 512, "steps": 2},
+    "lud": {"n": 512, "block": 32},
+    "lavamd": {"boxes1d": 4},
+    "srad": {"grid": 512, "iters": 2},
+}
+
+
+def all_cells():
+    for name, spec in sorted(WORKLOADS.items()):
+        for version in spec.versions:
+            yield name, version
+
+
+@pytest.mark.parametrize("workload,version", list(all_cells()))
+def test_every_workload_version_runs(workload, version):
+    """All 56 (workload, version) combinations build and execute."""
+    spec = get_workload(workload)
+    prog = spec.build(version, CTX.machine, **SMALL[workload])
+    for p in (1, 8):
+        res = run_program(prog, p, CTX, version)
+        assert res.time > 0
+        assert res.nthreads == p
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_parallelism_helps_at_small_scale(workload):
+    """8 threads never lose to 1 thread (overheads stay bounded)."""
+    spec = get_workload(workload)
+    version = spec.versions[0]
+    prog = spec.build(version, CTX.machine, **SMALL[workload])
+    t1 = run_program(prog, 1, CTX, version).time
+    t8 = run_program(prog, 8, CTX, version).time
+    assert t8 < t1
+
+
+def test_region_results_sum_to_program_time():
+    spec = get_workload("hotspot")
+    prog = spec.build("omp_for", CTX.machine, grid=512, steps=2)
+    res = run_program(prog, 4, CTX, "omp_for")
+    assert res.time == pytest.approx(sum(r.time for r in res.regions))
+    assert len(res.regions) == 4
+
+
+def test_cost_ablation_changes_results():
+    """Zeroing the stealing costs collapses the cilk_for penalty path."""
+    spec = get_workload("fib")
+    prog = spec.build("omp_task", CTX.machine, n=14)
+    base = run_program(prog, 4, CTX, "omp_task").time
+    free_ctx = CTX.with_costs(omp_task_spawn=0.0, locked_push=0.0, locked_pop=0.0)
+    cheap = run_program(prog, 4, free_ctx, "omp_task").time
+    assert cheap < base
+
+
+def test_machine_ablation_changes_results():
+    """Halving memory bandwidth slows a bandwidth-bound kernel."""
+    from dataclasses import replace
+
+    spec = get_workload("axpy")
+    prog = spec.build("omp_for", CTX.machine, n=500_000)
+    base = run_program(prog, 8, CTX, "omp_for").time
+    slow_machine = replace(CTX.machine, socket_bandwidth=CTX.machine.socket_bandwidth / 2,
+                           core_bandwidth=CTX.machine.core_bandwidth / 2)
+    slow = run_program(prog, 8, CTX.with_machine(slow_machine), "omp_for").time
+    assert slow > base * 1.5
+
+
+def test_thread_explosion_is_clean_error():
+    spec = get_workload("fib")
+    prog = spec.build("cxx_async", CTX.machine, n=22)
+    with pytest.raises(ThreadExplosionError):
+        run_program(prog, 8, CTX, "cxx_async")
+
+
+def test_results_are_reproducible_across_processes_shape():
+    """Same build + same ctx = identical simulated times (bit-stable)."""
+    spec = get_workload("bfs")
+    prog1 = spec.build("cilk_for", CTX.machine, n_nodes=100_000)
+    prog2 = spec.build("cilk_for", CTX.machine, n_nodes=100_000)
+    t1 = run_program(prog1, 8, CTX, "cilk_for").time
+    t2 = run_program(prog2, 8, CTX, "cilk_for").time
+    assert t1 == t2

@@ -1,0 +1,148 @@
+"""Tests for the NUMA machine model."""
+
+import math
+
+import pytest
+
+from repro.sim.machine import PAPER_MACHINE, Machine
+
+
+class TestTopology:
+    def test_paper_machine_matches_testbed(self):
+        m = PAPER_MACHINE
+        assert m.sockets == 2
+        assert m.cores_per_socket == 18
+        assert m.physical_cores == 36
+        assert m.hw_threads == 72
+        assert m.ghz == pytest.approx(2.3)
+
+    def test_total_bandwidth_sums_sockets(self):
+        m = Machine(sockets=2, socket_bandwidth=50e9)
+        assert m.total_bandwidth == pytest.approx(100e9)
+
+    def test_sockets_spanned_cores_first(self):
+        m = PAPER_MACHINE
+        assert m.sockets_spanned(1) == 1
+        assert m.sockets_spanned(18) == 1
+        assert m.sockets_spanned(19) == 2
+        assert m.sockets_spanned(36) == 2
+        # SMT contexts do not add sockets
+        assert m.sockets_spanned(72) == 2
+        assert m.sockets_spanned(1000) == 2
+
+    def test_sockets_spanned_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.sockets_spanned(0)
+
+    def test_single_socket_machine(self):
+        m = Machine(sockets=1, cores_per_socket=8)
+        assert m.sockets_spanned(8) == 1
+        assert m.sockets_spanned(100) == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sockets": 0},
+            {"cores_per_socket": 0},
+            {"smt": 0},
+            {"ghz": 0.0},
+            {"socket_bandwidth": -1.0},
+            {"core_bandwidth": 0.0},
+            {"random_access_factor": 0.0},
+            {"random_access_factor": 1.5},
+            {"numa_remote_fraction": -0.1},
+            {"numa_penalty": 0.5},
+            {"smt_throughput": 0.9},
+            {"smt_throughput": 3.0},
+            {"oversub_efficiency": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Machine(**kwargs)
+
+    def test_smt_throughput_bounded_by_smt(self):
+        # smt=1 forces smt_throughput == 1
+        Machine(smt=1, smt_throughput=1.0)
+        with pytest.raises(ValueError):
+            Machine(smt=1, smt_throughput=1.3)
+
+
+class TestComputeSpeed:
+    def test_full_speed_up_to_physical_cores(self):
+        m = PAPER_MACHINE
+        for p in (1, 2, 18, 36):
+            assert m.compute_speed(p) == 1.0
+
+    def test_smt_regime_degrades_per_thread(self):
+        m = PAPER_MACHINE
+        s = m.compute_speed(72)
+        assert s == pytest.approx(m.smt_throughput / m.smt)
+        assert s < 1.0
+
+    def test_smt_regime_interpolates(self):
+        m = PAPER_MACHINE
+        s50 = m.compute_speed(50)
+        assert m.compute_speed(72) < s50 < 1.0
+        # aggregate throughput never decreases when adding SMT contexts
+        assert 50 * s50 >= 36 * 1.0
+
+    def test_oversubscription_caps_total_throughput(self):
+        m = PAPER_MACHINE
+        p = 200
+        s = m.compute_speed(p)
+        total = p * s
+        expected = m.physical_cores * m.smt_throughput * m.oversub_efficiency
+        assert total == pytest.approx(expected)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.compute_speed(0)
+
+
+class TestBandwidth:
+    def test_single_core_capped_by_core_bandwidth(self):
+        m = PAPER_MACHINE
+        assert m.bandwidth_per_thread(1) == pytest.approx(m.core_bandwidth)
+
+    def test_share_shrinks_with_threads(self):
+        m = PAPER_MACHINE
+        prev = m.bandwidth_per_thread(1)
+        for p in (2, 4, 8, 18, 36):
+            bw = m.bandwidth_per_thread(p)
+            assert bw <= prev + 1e-9
+            prev = bw
+
+    def test_saturation_point_single_socket(self):
+        m = PAPER_MACHINE
+        # with 18 threads on one socket the fair share binds, not the core cap
+        assert m.bandwidth_per_thread(18) < m.core_bandwidth
+
+    def test_second_socket_adds_bandwidth(self):
+        m = PAPER_MACHINE
+        agg18 = 18 * m.bandwidth_per_thread(18)
+        agg36 = 36 * m.bandwidth_per_thread(36)
+        assert agg36 > agg18
+
+    def test_numa_slowdown_applied_when_spanning(self):
+        m = PAPER_MACHINE
+        no_numa = Machine(numa_remote_fraction=0.0)
+        assert m.bandwidth_per_thread(36) < no_numa.bandwidth_per_thread(36)
+
+    def test_random_access_reduces_bandwidth(self):
+        m = PAPER_MACHINE
+        stream = m.bandwidth_per_thread(4, locality=1.0)
+        rand = m.bandwidth_per_thread(4, locality=0.0)
+        assert rand < stream
+        assert rand == pytest.approx(stream * m.random_access_factor, rel=0.3)
+
+    def test_locality_interpolates_monotonically(self):
+        m = PAPER_MACHINE
+        values = [m.bandwidth_per_thread(4, loc) for loc in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert values == sorted(values)
+
+    def test_locality_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.bandwidth_per_thread(4, locality=1.5)

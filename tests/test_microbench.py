@@ -1,0 +1,72 @@
+"""Tests for the EPCC-style overhead microbenchmarks."""
+
+import pytest
+
+from repro.microbench import (
+    OverheadReport,
+    barrier_overhead,
+    for_overhead,
+    parallel_overhead,
+    render_report,
+    run_suite,
+    schedule_overhead,
+    task_overhead,
+)
+
+
+class TestIndividualMeasurements:
+    def test_parallel_overhead_grows_with_threads(self, ctx):
+        values = [parallel_overhead(p, ctx) for p in (2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_parallel_overhead_matches_cost_model(self, ctx):
+        measured = parallel_overhead(8, ctx)
+        modelled = ctx.costs.fork_cost(8) + ctx.costs.barrier_cost(8)
+        # measured includes the static chunk bookkeeping on top
+        assert modelled <= measured <= modelled * 1.5
+
+    def test_barrier_overhead_isolated(self, ctx):
+        assert barrier_overhead(8, ctx) == pytest.approx(ctx.costs.barrier_cost(8), rel=0.01)
+
+    def test_barrier_free_at_one_thread(self, ctx):
+        assert barrier_overhead(1, ctx) == 0.0
+
+    def test_static_for_overhead_tiny(self, ctx):
+        assert for_overhead(8, ctx, "static") < 1e-6
+
+    def test_dynamic_for_overhead_larger(self, ctx):
+        assert for_overhead(8, ctx, "dynamic") > for_overhead(8, ctx, "static")
+
+    def test_schedule_overhead_keys(self, ctx):
+        d = schedule_overhead(4, ctx)
+        assert set(d) == {"static", "dynamic", "guided"}
+
+    def test_task_overhead_locked_exceeds_the(self, ctx):
+        """The paper's III.B point, measured: lock-based deques cost more
+        per task than the THE protocol."""
+        for p in (2, 8):
+            assert task_overhead(p, ctx, deque="locked") > task_overhead(p, ctx, deque="the")
+
+    def test_task_overhead_contention_grows(self, ctx):
+        assert task_overhead(16, ctx, deque="locked") > task_overhead(2, ctx, deque="locked")
+
+
+class TestSuite:
+    def test_run_suite_rows(self, ctx):
+        report = run_suite((1, 2, 4), ctx)
+        assert report.threads == (1, 2, 4)
+        assert len(report.rows) == 7
+        for values in report.rows.values():
+            assert len(values) == 3
+            assert all(v >= 0 for v in values)
+
+    def test_report_add_validates_length(self):
+        r = OverheadReport((1, 2))
+        with pytest.raises(ValueError):
+            r.add("x", [1.0])
+
+    def test_render_report(self, ctx):
+        text = render_report(run_suite((1, 2), ctx))
+        assert "barrier" in text
+        assert "p=2" in text
+        assert "THE deque" in text

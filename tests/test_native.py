@@ -1,0 +1,145 @@
+"""Tests for the real-thread native backend."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import axpy as axpy_mod
+from repro.kernels import matmul as matmul_mod
+from repro.kernels import matvec as matvec_mod
+from repro.kernels import sumreduce
+from repro.native import (
+    ThreadPool,
+    axpy_parallel,
+    matmul_parallel,
+    matvec_parallel,
+    sum_parallel,
+)
+from repro.native.pool import parallel_for, parallel_reduce, static_chunks
+
+
+class TestStaticChunks:
+    def test_cover_range_contiguously(self):
+        chunks = static_chunks(100, 7)
+        assert chunks[0][0] == 0 and chunks[-1][1] == 100
+        for (a, b), (c, d) in zip(chunks, chunks[1:]):
+            assert b == c
+
+    def test_more_chunks_than_items(self):
+        assert static_chunks(3, 10) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_zero_items(self):
+        assert static_chunks(0, 4) == [(0, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            static_chunks(-1, 2)
+        with pytest.raises(ValueError):
+            static_chunks(10, 0)
+
+
+class TestThreadPool:
+    def test_map_preserves_order(self):
+        with ThreadPool(4) as pool:
+            out = pool.map(lambda x: x * x, [(i,) for i in range(20)])
+        assert out == [i * i for i in range(20)]
+
+    def test_map_empty(self):
+        with ThreadPool(2) as pool:
+            assert pool.map(lambda: 1, []) == []
+
+    def test_exceptions_propagate(self):
+        def boom(i):
+            if i == 3:
+                raise ValueError("boom at 3")
+            return i
+
+        with ThreadPool(2) as pool:
+            with pytest.raises(ValueError, match="boom at 3"):
+                pool.map(boom, [(i,) for i in range(6)])
+
+    def test_pool_reusable_across_maps(self):
+        with ThreadPool(2) as pool:
+            assert pool.map(lambda x: x + 1, [(1,)]) == [2]
+            assert pool.map(lambda x: x + 1, [(2,)]) == [3]
+
+    def test_shutdown_prevents_use(self):
+        pool = ThreadPool(2)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.map(lambda: 1, [()])
+
+    def test_double_shutdown_ok(self):
+        pool = ThreadPool(2)
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ThreadPool(0)
+
+    def test_parallel_for_calls_every_chunk(self):
+        seen = []
+        with ThreadPool(3) as pool:
+            parallel_for(lambda lo, hi: seen.append((lo, hi)), 30, pool)
+        assert sorted(seen) == static_chunks(30, 3)
+
+    def test_parallel_reduce(self):
+        with ThreadPool(4) as pool:
+            total = parallel_reduce(
+                lambda lo, hi: sum(range(lo, hi)), 1000, pool, lambda a, b: a + b, 0
+            )
+        assert total == sum(range(1000))
+
+
+class TestKernelsMatchReferences:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(42)
+        return rng.random(10_001), rng.random(10_001)
+
+    def test_axpy(self, data):
+        x, y = data
+        with ThreadPool(3) as pool:
+            out = axpy_parallel(1.7, x, y.copy(), pool)
+        assert np.allclose(out, axpy_mod.reference(1.7, x, y))
+
+    def test_axpy_shape_check(self, data):
+        x, _ = data
+        with ThreadPool(2) as pool:
+            with pytest.raises(ValueError):
+                axpy_parallel(1.0, x, np.zeros(5), pool)
+
+    def test_sum(self, data):
+        x, _ = data
+        with ThreadPool(3) as pool:
+            s = sum_parallel(2.0, x, pool)
+        assert s == pytest.approx(sumreduce.reference(2.0, x), rel=1e-12)
+
+    def test_matvec(self):
+        rng = np.random.default_rng(0)
+        m, v = rng.random((157, 83)), rng.random(83)
+        with ThreadPool(4) as pool:
+            out = matvec_parallel(m, v, pool)
+        assert np.allclose(out, matvec_mod.reference(m, v))
+
+    def test_matmul(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random((61, 47)), rng.random((47, 53))
+        with ThreadPool(4) as pool:
+            out = matmul_parallel(a, b, pool)
+        assert np.allclose(out, matmul_mod.reference(a, b))
+
+    def test_chunking_invariance(self, data):
+        """Result must not depend on the decomposition (determinacy)."""
+        x, y = data
+        results = []
+        for nchunks in (1, 2, 7, 64):
+            with ThreadPool(4) as pool:
+                results.append(axpy_parallel(0.3, x, y.copy(), pool, nchunks=nchunks))
+        for r in results[1:]:
+            assert np.array_equal(results[0], r)
+
+    def test_pool_type_checked(self, data):
+        x, y = data
+        with pytest.raises(TypeError):
+            axpy_parallel(1.0, x, y.copy(), pool="not a pool")

@@ -1,0 +1,84 @@
+"""Tests for the OpenCL front-end."""
+
+import pytest
+
+from repro.models import cuda, opencl, openmp
+from repro.runtime.run import execute_region
+from repro.sim.task import IterSpace
+
+
+@pytest.fixture
+def space():
+    return IterSpace.uniform(500_000, 1e-9, 8.0)
+
+
+class TestWorkGroups:
+    def test_chunks(self):
+        assert opencl.work_group_chunks(1024, 64) == 16
+        assert opencl.work_group_chunks(1000, 64) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            opencl.work_group_chunks(0, 64)
+        with pytest.raises(ValueError):
+            opencl.work_group_chunks(64, 0)
+
+
+class TestEnqueueKernel:
+    def test_gpu_matches_cuda_mechanism(self, space, ctx):
+        t_cl = execute_region(
+            opencl.enqueue_kernel(space, device="gpu", buffer_write=1e6), 1, ctx
+        ).time
+        t_cuda = execute_region(cuda.kernel_launch(space, copy_in=1e6), 1, ctx).time
+        assert t_cl == pytest.approx(t_cuda)
+
+    def test_cpu_runs_on_host_threads(self, space, ctx):
+        t1 = execute_region(opencl.enqueue_kernel(space, device="cpu"), 1, ctx).time
+        t8 = execute_region(opencl.enqueue_kernel(space, device="cpu"), 8, ctx).time
+        assert t8 < t1
+
+    def test_cpu_pays_more_than_openmp(self, space, ctx):
+        """The OpenCL CPU runtime's dynamic work-group dispatch costs
+        more than an OpenMP static worksharing loop."""
+        t_cl = execute_region(opencl.enqueue_kernel(space, device="cpu"), 8, ctx).time
+        t_omp = execute_region(openmp.parallel_for(space), 8, ctx).time
+        assert t_cl > t_omp
+
+    def test_local_size_respected(self, space, ctx):
+        res = execute_region(
+            opencl.enqueue_kernel(space, device="cpu", local_size=space.niter // 8), 8, ctx
+        )
+        assert res.meta["nchunks"] == 8
+
+    def test_resident_buffers(self, space, ctx):
+        moving = execute_region(
+            opencl.enqueue_kernel(space, device="gpu", buffer_write=1e8), 1, ctx
+        ).time
+        resident = execute_region(
+            opencl.enqueue_kernel(space, device="gpu", buffer_write=1e8, resident=True),
+            1,
+            ctx,
+        ).time
+        assert resident < moving
+
+    def test_unknown_device(self, space):
+        with pytest.raises(ValueError):
+            opencl.enqueue_kernel(space, device="fpga")
+
+
+class TestEnqueueTask:
+    def test_cpu_task_serial(self, ctx):
+        region = opencl.enqueue_task(1e-3)
+        res = execute_region(region, 8, ctx)
+        assert res.time == pytest.approx(1e-3 + opencl.CPU_ENQUEUE_OVERHEAD)
+
+    def test_gpu_task_is_an_antipattern(self, ctx):
+        cpu = execute_region(opencl.enqueue_task(1e-4, device="cpu"), 1, ctx).time
+        gpu = execute_region(opencl.enqueue_task(1e-4, device="gpu"), 1, ctx).time
+        assert gpu > cpu  # one device lane is far slower than a host core
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            opencl.enqueue_task(-1.0)
+        with pytest.raises(ValueError):
+            opencl.enqueue_task(1.0, device="dsp")

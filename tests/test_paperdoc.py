@@ -1,0 +1,47 @@
+"""Tests for the one-shot report generator and its CLI command."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.core.paperdoc import generate_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def outdir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("report")
+        generate_report(out, threads=(1, 4), workloads=["matmul", "fib"])
+        return pathlib.Path(out)
+
+    def test_tables_written(self, outdir):
+        for n in (1, 2, 3):
+            text = (outdir / f"table{n}.txt").read_text()
+            assert "TABLE" in text
+
+    def test_figures_written(self, outdir):
+        fig = (outdir / "fig4_matmul.txt").read_text()
+        assert "cilk_for" in fig and "p=4" in fig
+        assert (outdir / "fig5_fib.txt").exists()
+
+    def test_claims_written(self, outdir):
+        text = (outdir / "claims.txt").read_text()
+        assert "[PASS]" in text
+        assert "paper:" in text
+
+    def test_index_links_everything(self, outdir):
+        index = (outdir / "INDEX.md").read_text()
+        assert "Table 1" in index
+        assert "fig4_matmul.txt" in index
+        assert "claims.txt" in index
+        assert "11/11" in index
+
+    def test_cli_report(self, tmp_path, capsys):
+        out = tmp_path / "r"
+        assert main(
+            ["report", "--out", str(out), "--workloads", "matmul",
+             "--threads", "1", "2", "--no-claims"]
+        ) == 0
+        assert (out / "INDEX.md").exists()
+        assert "wrote artifacts" in capsys.readouterr().out

@@ -1,0 +1,210 @@
+"""Property-based tests on core data structures and scheduling invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.base import ExecContext
+from repro.runtime.worksharing import run_worksharing_loop
+from repro.runtime.workstealing import StealingScheduler, cilk_for_graph, flat_chunk_graph
+from repro.sim.costs import CostModel
+from repro.sim.deque import make_deque
+from repro.sim.engine import SimLock
+from repro.sim.machine import Machine
+from repro.sim.task import IterSpace, TaskGraph
+
+SMALL_CTX = ExecContext(machine=Machine(sockets=2, cores_per_socket=4, smt=2, name="prop"))
+
+
+# ---------------------------------------------------------------------------
+# IterSpace
+# ---------------------------------------------------------------------------
+@given(
+    niter=st.integers(1, 10_000),
+    w=st.floats(1e-9, 1e-3),
+    b=st.floats(0, 1e3),
+    cut=st.floats(0, 1),
+)
+def test_iterspace_chunk_cost_additive(niter, w, b, cut):
+    """cost([0,m)) + cost([m,n)) == cost([0,n)) for any split point."""
+    s = IterSpace.uniform(niter, w, b)
+    m = int(cut * niter)
+    w1, b1 = s.chunk_cost(0, m)
+    w2, b2 = s.chunk_cost(m, niter)
+    assert w1 + w2 == pytest.approx(s.total_work, rel=1e-9, abs=1e-18)
+    assert b1 + b2 == pytest.approx(s.total_bytes, rel=1e-9, abs=1e-12)
+
+
+@given(
+    work=st.lists(st.floats(0, 1e-3), min_size=1, max_size=500),
+    max_blocks=st.integers(1, 64),
+)
+def test_iterspace_profile_total_preserved(work, max_blocks):
+    """Block compression never changes the total cost."""
+    arr = np.array(work)
+    s = IterSpace.from_profile(arr, max_blocks=max_blocks)
+    assert s.total_work == pytest.approx(float(arr.sum()), rel=1e-9, abs=1e-15)
+
+
+@given(
+    niter=st.integers(2, 5000),
+    edges=st.lists(st.integers(0, 5000), min_size=2, max_size=20),
+)
+def test_iterspace_chunk_costs_monotone(niter, edges):
+    """Chunk costs are non-negative for any sorted bound sequence."""
+    bounds = sorted(set(e % (niter + 1) for e in edges))
+    assume(len(bounds) >= 2)
+    s = IterSpace.uniform(niter, 1e-6, 2.0)
+    ws, bs = s.chunk_costs(np.array(bounds))
+    assert (ws >= -1e-15).all()
+    assert (bs >= -1e-12).all()
+
+
+# ---------------------------------------------------------------------------
+# TaskGraph
+# ---------------------------------------------------------------------------
+@st.composite
+def random_dag(draw):
+    n = draw(st.integers(1, 40))
+    g = TaskGraph("rand")
+    for i in range(n):
+        ndeps = draw(st.integers(0, min(3, i)))
+        deps = draw(
+            st.lists(st.integers(0, i - 1), min_size=ndeps, max_size=ndeps, unique=True)
+        ) if i else []
+        g.add(draw(st.floats(1e-8, 1e-5)), deps=deps)
+    return g
+
+
+@given(random_dag())
+def test_critical_path_bounds(g):
+    """T_inf <= T_1, and T_inf >= the longest single task."""
+    cp = g.critical_path()
+    assert cp <= g.total_work() + 1e-12
+    assert cp >= max(t.work for t in g.tasks) - 1e-15
+
+
+@given(random_dag(), st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_stealing_executes_every_dag(g, p):
+    """The scheduler completes any topological DAG, conserving work."""
+    res = StealingScheduler(g, p, SMALL_CTX).run()
+    assert res.total_tasks == len(g)
+    assert res.total_busy == pytest.approx(g.total_work(), rel=1e-6)
+    # makespan respects the greedy lower bounds
+    assert res.time >= g.critical_path() * (1 - 1e-9)
+    assert res.time >= g.total_work() / p * (1 - 1e-9)
+
+
+@given(random_dag(), st.integers(1, 8), st.sampled_from(["the", "locked"]))
+@settings(max_examples=30, deadline=None)
+def test_stealing_deterministic(g, p, deque):
+    a = StealingScheduler(g, p, SMALL_CTX, deque=deque).run().time
+    b = StealingScheduler(g, p, SMALL_CTX, deque=deque).run().time
+    assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Deques
+# ---------------------------------------------------------------------------
+@given(
+    ops=st.lists(st.sampled_from(["push", "pop", "steal"]), max_size=200),
+    kind=st.sampled_from(["the", "locked"]),
+)
+def test_deque_model_matches_reference(ops, kind):
+    """Deque contents always match a plain list double-ended model."""
+    d = make_deque(kind, 0, CostModel())
+    ref: list[int] = []
+    t, next_tid = 0.0, 0
+    for op in ops:
+        if op == "push":
+            t = d.push(t, next_tid)
+            ref.append(next_tid)
+            next_tid += 1
+        elif op == "pop":
+            tid, t = d.pop(t)
+            assert tid == (ref.pop() if ref else None)
+        else:
+            tid, t = d.steal(t)
+            assert tid == (ref.pop(0) if ref else None)
+        assert len(d) == len(ref)
+
+
+@given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 1)), max_size=50))
+def test_simlock_grants_never_overlap(requests):
+    """Sequential grants: each grant starts no earlier than the previous
+    release, when requests arrive in time order."""
+    lock = SimLock()
+    prev_release = 0.0
+    for t, hold in sorted(requests):
+        grant = lock.acquire(t, hold)
+        assert grant >= t
+        assert grant >= prev_release - 1e-12
+        prev_release = grant + hold
+
+
+# ---------------------------------------------------------------------------
+# Machine monotonicity
+# ---------------------------------------------------------------------------
+@given(st.integers(1, 200), st.integers(1, 200))
+def test_machine_aggregate_compute_monotone_within_regime(p1, p2):
+    """Within a placement regime (shared-context or oversubscribed),
+    more software threads never reduce aggregate compute throughput.
+    Crossing into oversubscription may legitimately drop it (the
+    context-switching cliff modelled by oversub_efficiency)."""
+    m = Machine()
+    lo, hi = min(p1, p2), max(p1, p2)
+    same_regime = (hi <= m.hw_threads) or (lo > m.hw_threads)
+    if same_regime:
+        assert lo * m.compute_speed(lo) <= hi * m.compute_speed(hi) + 1e-9
+    else:
+        # even across the cliff, throughput never falls below the
+        # oversubscribed plateau
+        floor = m.physical_cores * m.smt_throughput * m.oversub_efficiency
+        assert hi * m.compute_speed(hi) >= floor - 1e-9
+
+
+@given(st.integers(1, 144), st.floats(0, 1))
+def test_machine_bandwidth_share_positive(p, loc):
+    m = Machine()
+    assert m.bandwidth_per_thread(p, loc) > 0
+
+
+# ---------------------------------------------------------------------------
+# Worksharing
+# ---------------------------------------------------------------------------
+@given(
+    niter=st.integers(1, 20_000),
+    p=st.integers(1, 16),
+    schedule=st.sampled_from(["static", "dynamic", "guided"]),
+)
+@settings(max_examples=50, deadline=None)
+def test_worksharing_conserves_work(niter, p, schedule):
+    space = IterSpace.uniform(niter, 1e-8, 0.0)
+    res = run_worksharing_loop(space, p, SMALL_CTX, schedule=schedule)
+    # busy time is wall time: SMT sharing may inflate it, never deflate
+    assert res.total_busy >= space.total_work * (1 - 1e-6)
+    if p <= SMALL_CTX.machine.physical_cores:
+        assert res.total_busy == pytest.approx(space.total_work, rel=1e-6)
+    assert res.time >= space.total_work / p * (1 - 1e-9)
+
+
+@given(niter=st.integers(1, 5000), grainsize=st.integers(1, 512))
+@settings(max_examples=50, deadline=None)
+def test_cilk_tree_leaves_partition_space(niter, grainsize):
+    space = IterSpace.uniform(niter, 1e-8, 4.0)
+    g = cilk_for_graph(space, grainsize, SMALL_CTX)
+    leaves = [t for t in g.tasks if t.tag == "chunk"]
+    assert sum(t.work for t in leaves) == pytest.approx(space.total_work, rel=1e-9)
+    g.validate()
+
+
+@given(niter=st.integers(1, 5000), nchunks=st.integers(1, 64))
+def test_flat_graph_partitions_space(niter, nchunks):
+    space = IterSpace.uniform(niter, 1e-8, 4.0)
+    g = flat_chunk_graph(space, nchunks, SMALL_CTX)
+    assert len(g) == min(nchunks, niter)
+    assert sum(t.work for t in g.tasks) == pytest.approx(space.total_work, rel=1e-9)

@@ -1,0 +1,164 @@
+"""Tests for the Rodinia workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.models import VERSIONS
+from repro.rodinia import RODINIA, bfs, build_rodinia_program, hotspot, lavamd, lud, srad
+from repro.rodinia.common import skewed_profile
+from repro.rodinia.graphs import bfs_levels
+from repro.sim.machine import PAPER_MACHINE
+from repro.sim.task import LoopRegion, SerialRegion
+
+
+class TestRegistry:
+    def test_all_apps_registered(self):
+        assert set(RODINIA) == {"bfs", "hotspot", "lavamd", "lud", "srad"}
+
+    def test_build_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_rodinia_program("nw", "omp_for", PAPER_MACHINE)
+
+
+class TestSkewedProfile:
+    def test_mean_preserved(self):
+        rng = np.random.default_rng(0)
+        s = skewed_profile(10_000, 1e-6, cv=0.8, rng=rng)
+        assert s.total_work == pytest.approx(10_000 * 1e-6, rel=1e-9)
+
+    def test_zero_cv_uniform(self):
+        rng = np.random.default_rng(0)
+        s = skewed_profile(1000, 1e-6, cv=0.0, rng=rng, nblocks=10)
+        w1, _ = s.chunk_cost(0, 100)
+        w2, _ = s.chunk_cost(900, 1000)
+        assert w1 == pytest.approx(w2)
+
+    def test_cv_creates_spread(self):
+        rng = np.random.default_rng(0)
+        s = skewed_profile(10_000, 1e-6, cv=1.0, rng=rng, nblocks=100)
+        block_works = np.diff(s._cum_work)
+        assert block_works.std() / block_works.mean() > 0.5
+
+    def test_correlation_concentrates_skew(self):
+        rng1, rng2 = np.random.default_rng(5), np.random.default_rng(5)
+        iid = skewed_profile(10_000, 1e-6, cv=0.6, rng=rng1, nblocks=512, corr=1)
+        corr = skewed_profile(10_000, 1e-6, cv=0.6, rng=rng2, nblocks=512, corr=64)
+        # contiguous halves differ more when skew is spatially correlated
+        def half_gap(s):
+            a, _ = s.chunk_cost(0, 5000)
+            b, _ = s.chunk_cost(5000, 10_000)
+            return abs(a - b) / (a + b)
+
+        assert half_gap(corr) > half_gap(iid)
+
+    def test_bytes_uniform(self):
+        rng = np.random.default_rng(0)
+        s = skewed_profile(1000, 1e-6, cv=0.5, rng=rng, bytes_per_iter=8.0, nblocks=10)
+        _, b1 = s.chunk_cost(0, 100)
+        _, b2 = s.chunk_cost(500, 600)
+        assert b1 == pytest.approx(b2)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            skewed_profile(10, 1e-6, cv=-1.0, rng=rng)
+        with pytest.raises(ValueError):
+            skewed_profile(10, 1e-6, cv=0.5, rng=rng, corr=0)
+
+
+class TestBFSLevels:
+    def test_levels_cover_most_nodes(self):
+        levels = bfs_levels(1_000_000, 6.0, seed=1)
+        assert 0.9 * 1_000_000 <= sum(levels) <= 1_000_000
+
+    def test_deterministic(self):
+        assert bfs_levels(100_000, 6.0, seed=7) == bfs_levels(100_000, 6.0, seed=7)
+
+    def test_growth_then_decay(self):
+        levels = bfs_levels(1_000_000, 6.0, seed=1)
+        peak = levels.index(max(levels))
+        assert 0 < peak < len(levels) - 1
+        assert levels[0] < max(levels)
+
+    def test_small_degree_may_die_out(self):
+        levels = bfs_levels(1000, 0.5, seed=3)
+        assert sum(levels) < 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bfs_levels(0)
+        with pytest.raises(ValueError):
+            bfs_levels(10, avg_degree=0)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("version", VERSIONS)
+    def test_bfs_builds_two_phases_per_level(self, version):
+        prog = bfs.program(version, machine=PAPER_MACHINE, n_nodes=50_000)
+        assert len(prog) == 2 * prog.meta["levels"]
+
+    def test_bfs_low_locality(self):
+        prog = bfs.program("omp_for", machine=PAPER_MACHINE, n_nodes=50_000)
+        visit_regions = [r for r in prog if isinstance(r, LoopRegion) and "visit" in r.space.name]
+        assert any(r.space.locality < 0.6 for r in visit_regions)
+
+    def test_hotspot_two_loops_per_step(self):
+        prog = hotspot.program("omp_for", machine=PAPER_MACHINE, grid=256, steps=3)
+        assert len(prog) == 6
+
+    def test_hotspot_stencil_skewed(self):
+        prog = hotspot.program("omp_for", machine=PAPER_MACHINE, grid=512, steps=1)
+        stencil = prog.regions[0].space
+        blocks = np.diff(stencil._cum_work)
+        assert blocks.std() / blocks.mean() > 0.2
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            hotspot.program("omp_for", machine=PAPER_MACHINE, grid=0)
+
+    def test_lud_shrinking_phases(self):
+        prog = lud.program("omp_for", machine=PAPER_MACHINE, n=256, block=32)
+        loops = [r for r in prog if isinstance(r, LoopRegion)]
+        serials = [r for r in prog if isinstance(r, SerialRegion)]
+        nb = 256 // 32
+        assert len(loops) == 2 * (nb - 1)
+        assert len(serials) == nb
+        inner_sizes = [r.space.niter for r in loops if "interior" in r.space.name]
+        assert inner_sizes == sorted(inner_sizes, reverse=True)
+        assert inner_sizes[0] == (nb - 1) ** 2
+
+    def test_lud_block_divides(self):
+        with pytest.raises(ValueError):
+            lud.program("omp_for", machine=PAPER_MACHINE, n=100, block=32)
+
+    def test_lavamd_single_uniform_region(self):
+        prog = lavamd.program("omp_for", machine=PAPER_MACHINE, boxes1d=5)
+        assert len(prog) == 1
+        assert prog.meta["nboxes"] == 125
+
+    def test_lavamd_validation(self):
+        with pytest.raises(ValueError):
+            lavamd.program("omp_for", machine=PAPER_MACHINE, boxes1d=0)
+
+    def test_srad_two_loops_per_iter(self):
+        prog = srad.program("omp_for", machine=PAPER_MACHINE, grid=256, iters=5)
+        assert len(prog) == 10
+
+    def test_cxx_versions_get_persistent_pool(self):
+        for app, kw in (
+            (bfs, {"n_nodes": 50_000}),
+            (hotspot, {"grid": 256, "steps": 1}),
+            (lud, {"n": 128, "block": 32}),
+            (srad, {"grid": 128, "iters": 1}),
+        ):
+            prog = app.program("cxx_thread", machine=PAPER_MACHINE, **kw)
+            assert prog.meta.get("pool_setup") is True, app.__name__
+            prog_omp = app.program("omp_for", machine=PAPER_MACHINE, **kw)
+            assert "pool_setup" not in prog_omp.meta
+
+    def test_deterministic_builds(self):
+        a = hotspot.program("omp_for", machine=PAPER_MACHINE, grid=256, steps=2, seed=9)
+        b = hotspot.program("omp_for", machine=PAPER_MACHINE, grid=256, steps=2, seed=9)
+        wa = a.regions[0].space.total_work
+        wb = b.regions[0].space.total_work
+        assert wa == wb

@@ -1,0 +1,275 @@
+"""Tests for the functional Rodinia algorithms (serial references and
+thread-parallel versions), validated against independent ground truth
+(networkx BFS, scipy LU, physical invariants)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.native.pool import ThreadPool
+from repro.native.rodinia import bfs_parallel, hotspot_parallel, lud_parallel, srad_parallel
+from repro.rodinia.reference import (
+    bfs_reference,
+    hotspot_reference,
+    lavamd_reference,
+    lud_reference,
+    random_adjacency,
+    srad_reference,
+)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ThreadPool(4) as p:
+        yield p
+
+
+# ---------------------------------------------------------------------------
+# BFS
+# ---------------------------------------------------------------------------
+class TestBFS:
+    def test_adjacency_is_symmetric(self):
+        adj = random_adjacency(200, 4.0, seed=1)
+        for u, nbrs in enumerate(adj):
+            for v in nbrs:
+                assert u in adj[int(v)]
+
+    def test_depths_match_networkx(self):
+        adj = random_adjacency(300, 5.0, seed=2)
+        g = nx.Graph()
+        g.add_nodes_from(range(300))
+        for u, nbrs in enumerate(adj):
+            g.add_edges_from((u, int(v)) for v in nbrs)
+        expected = nx.single_source_shortest_path_length(g, 0)
+        depth = bfs_reference(adj, 0)
+        for node in range(300):
+            if node in expected:
+                assert depth[node] == expected[node], node
+            else:
+                assert depth[node] == -1, node
+
+    def test_source_depth_zero(self):
+        adj = random_adjacency(50, 3.0, seed=3)
+        assert bfs_reference(adj, 7)[7] == 0
+
+    def test_parallel_matches_reference(self, pool):
+        adj = random_adjacency(400, 5.0, seed=4)
+        assert np.array_equal(bfs_parallel(adj, pool), bfs_reference(adj))
+
+    def test_disconnected_graph(self):
+        adj = [np.array([1]), np.array([0]), np.array([], dtype=np.int64)]
+        depth = bfs_reference(adj, 0)
+        assert list(depth) == [0, 1, -1]
+
+    def test_source_validation(self):
+        adj = random_adjacency(10, 2.0)
+        with pytest.raises(ValueError):
+            bfs_reference(adj, 10)
+        with pytest.raises(ValueError):
+            bfs_parallel(adj, None, 99)  # source checked before pool use
+
+
+# ---------------------------------------------------------------------------
+# HotSpot
+# ---------------------------------------------------------------------------
+class TestHotSpot:
+    def make(self, n=64, seed=5):
+        rng = np.random.default_rng(seed)
+        temp = 300.0 + 10.0 * rng.random((n, n))
+        power = rng.random((n, n))
+        return temp, power
+
+    def test_zero_steps_identity(self):
+        temp, power = self.make()
+        assert np.array_equal(hotspot_reference(temp, power, 0), temp)
+
+    def test_diffusion_smooths(self):
+        temp, power = self.make()
+        out = hotspot_reference(temp, np.zeros_like(power), 50)
+        # with no power injection, spatial variance decays toward ambient
+        assert out.std() < temp.std()
+
+    def test_power_heats_the_hotspot(self):
+        temp = np.full((32, 32), 80.0)
+        power = np.zeros((32, 32))
+        power[16, 16] = 50.0
+        out = hotspot_reference(temp, power, 10)
+        assert out[16, 16] == out.max()
+        assert out[16, 16] > 80.0
+
+    def test_uniform_grid_stays_uniform_without_power(self):
+        temp = np.full((16, 16), ref_amb := 80.0)
+        out = hotspot_reference(temp, np.zeros((16, 16)), 5)
+        assert np.allclose(out, ref_amb)
+
+    def test_parallel_matches_reference(self, pool):
+        temp, power = self.make(96)
+        serial = hotspot_reference(temp, power, 7)
+        par = hotspot_parallel(temp, power, pool, 7)
+        assert np.allclose(par, serial, rtol=0, atol=0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_reference(np.zeros((4, 4)), np.zeros((5, 4)))
+        with pytest.raises(ValueError):
+            hotspot_reference(np.zeros((4, 4)), np.zeros((4, 4)), steps=-1)
+
+
+# ---------------------------------------------------------------------------
+# LUD
+# ---------------------------------------------------------------------------
+def _dominant(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n))
+    a += n * np.eye(n)  # diagonally dominant: pivot-free LU is stable
+    return a
+
+
+class TestLUD:
+    def test_reconstructs_input(self):
+        a = _dominant(60, 6)
+        lower, upper = lud_reference(a, block=16)
+        assert np.allclose(lower @ upper, a, atol=1e-9)
+
+    def test_triangular_structure(self):
+        a = _dominant(33, 7)  # non-multiple of block exercises the tail
+        lower, upper = lud_reference(a, block=8)
+        assert np.allclose(np.triu(lower, 1), 0)
+        assert np.allclose(np.diag(lower), 1)
+        assert np.allclose(np.tril(upper, -1), 0)
+
+    def test_matches_scipy_lu_when_no_pivoting_happens(self):
+        a = _dominant(40, 8)
+        _p, l_scipy, u_scipy = scipy.linalg.lu(a)
+        lower, upper = lud_reference(a, block=10)
+        # scipy pivots; on a strongly dominant matrix the permutation
+        # is identity, so the factors coincide
+        assert np.allclose(lower, l_scipy, atol=1e-8)
+        assert np.allclose(upper, u_scipy, atol=1e-8)
+
+    def test_block_size_independent(self):
+        a = _dominant(48, 9)
+        l1, u1 = lud_reference(a, block=4)
+        l2, u2 = lud_reference(a, block=48)
+        assert np.allclose(l1, l2, atol=1e-9)
+        assert np.allclose(u1, u2, atol=1e-9)
+
+    def test_zero_pivot_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            lud_reference(np.zeros((4, 4)))
+
+    def test_parallel_matches_reference(self, pool):
+        a = _dominant(64, 10)
+        l_s, u_s = lud_reference(a, block=16)
+        l_p, u_p = lud_parallel(a, pool, block=16)
+        assert np.array_equal(l_p, l_s)
+        assert np.array_equal(u_p, u_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lud_reference(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            lud_reference(_dominant(8, 0), block=0)
+
+
+# ---------------------------------------------------------------------------
+# SRAD
+# ---------------------------------------------------------------------------
+class TestSRAD:
+    def make(self, n=64, seed=11):
+        rng = np.random.default_rng(seed)
+        clean = 100.0 + 20.0 * np.sin(np.linspace(0, 3, n))[:, None]
+        speckle = rng.gamma(50.0, 1.0 / 50.0, size=(n, n))
+        return clean * speckle
+
+    def test_zero_iters_identity(self):
+        img = self.make()
+        assert np.array_equal(srad_reference(img, 0), img)
+
+    def test_reduces_speckle_variance(self):
+        img = self.make()
+        out = srad_reference(img, 20)
+        # normalized variance (the speckle statistic) must fall
+        assert out.var() / out.mean() ** 2 < img.var() / img.mean() ** 2
+
+    def test_preserves_positivity_and_scale(self):
+        img = self.make()
+        out = srad_reference(img, 10)
+        assert (out > 0).all()
+        assert abs(out.mean() - img.mean()) / img.mean() < 0.05
+
+    def test_parallel_matches_reference(self, pool):
+        img = self.make(80)
+        assert np.allclose(
+            srad_parallel(img, pool, 5), srad_reference(img, 5), rtol=0, atol=0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            srad_reference(np.ones(5))
+        with pytest.raises(ValueError):
+            srad_reference(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            srad_reference(np.ones((4, 4)), iters=-1)
+
+
+# ---------------------------------------------------------------------------
+# LavaMD
+# ---------------------------------------------------------------------------
+class TestLavaMD:
+    def make(self, boxes1d=3, ppb=8, seed=12):
+        rng = np.random.default_rng(seed)
+        nboxes = boxes1d**3
+        positions = rng.random((nboxes, ppb, 3))
+        # spread boxes in space so the box grid means something
+        for bx in range(boxes1d):
+            for by in range(boxes1d):
+                for bz in range(boxes1d):
+                    b = (bx * boxes1d + by) * boxes1d + bz
+                    positions[b] += np.array([bx, by, bz], dtype=float)
+        charges = rng.random((nboxes, ppb))
+        return positions, charges
+
+    def test_shapes(self):
+        pos, q = self.make()
+        out = lavamd_reference(pos, q, 3)
+        assert out.shape == q.shape
+        assert (out > 0).all()
+
+    def test_self_interaction_included(self):
+        # a single isolated particle sees its own charge (exp(0) = 1)
+        pos = np.zeros((1, 1, 3))
+        q = np.array([[2.5]])
+        out = lavamd_reference(pos, q, 1)
+        assert out[0, 0] == pytest.approx(2.5)
+
+    def test_matches_brute_force(self):
+        """Against an O(n^2) all-pairs computation restricted to
+        neighbouring boxes."""
+        boxes1d, ppb = 2, 4
+        pos, q = self.make(boxes1d, ppb, seed=13)
+        out = lavamd_reference(pos, q, boxes1d, alpha=0.3)
+        # with boxes1d=2 every box neighbours every other
+        flat_p = pos.reshape(-1, 3)
+        flat_q = q.reshape(-1)
+        diff = flat_p[:, None, :] - flat_p[None, :, :]
+        r2 = np.einsum("ijk,ijk->ij", diff, diff)
+        brute = (flat_q[None, :] * np.exp(-0.3 * r2)).sum(axis=1)
+        assert np.allclose(out.reshape(-1), brute)
+
+    def test_distant_boxes_ignored(self):
+        boxes1d = 4  # corner boxes are not neighbours
+        pos, q = self.make(boxes1d, 2, seed=14)
+        base = lavamd_reference(pos, q, boxes1d)
+        q2 = q.copy()
+        q2[-1] *= 100.0  # far corner box
+        out = lavamd_reference(pos, q2, boxes1d)
+        assert np.allclose(out[0], base[0])  # home corner unaffected
+
+    def test_validation(self):
+        pos, q = self.make()
+        with pytest.raises(ValueError):
+            lavamd_reference(pos[:5], q, 3)
+        with pytest.raises(ValueError):
+            lavamd_reference(pos, q[:, :2], 3)

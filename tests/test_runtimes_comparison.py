@@ -1,0 +1,113 @@
+"""Tests for the central-queue scheduler mode and the runtime comparison."""
+
+import pytest
+
+from repro.extensions.runtimes import RUNTIMES, compare_task_runtimes, render_comparison
+from repro.runtime.base import ExecContext
+from repro.runtime.workstealing import StealingScheduler
+from repro.sim.costs import GCC_COSTS, INTEL_COSTS
+from repro.sim.task import TaskGraph
+
+
+def wide_graph(n, work=2e-6):
+    g = TaskGraph("wide")
+    for _ in range(n):
+        g.add(work)
+    return g
+
+
+class TestCentralQueue:
+    def test_completes_all_tasks(self, small_ctx):
+        res = StealingScheduler(
+            wide_graph(64), 4, small_ctx, deque="locked", central_queue=True
+        ).run()
+        assert res.total_tasks == 64
+
+    def test_work_conserved(self, small_ctx):
+        g = wide_graph(40, 3e-6)
+        res = StealingScheduler(
+            g, 4, small_ctx, deque="locked", central_queue=True
+        ).run()
+        assert res.total_busy == pytest.approx(g.total_work(), rel=1e-6)
+
+    def test_no_steals_everything_through_queue(self, small_ctx):
+        res = StealingScheduler(
+            wide_graph(64), 4, small_ctx, deque="locked", central_queue=True
+        ).run()
+        assert res.meta["steals"] == 0
+
+    def test_only_queue_zero_used(self, small_ctx):
+        sched = StealingScheduler(
+            wide_graph(64), 4, small_ctx, deque="locked", central_queue=True
+        )
+        sched.run()
+        assert sched.deques[0].pops == 64
+        for d in sched.deques[1:]:
+            assert d.pushes == 0 and d.pops == 0
+
+    def test_central_lock_contention_hurts_recursive_trees(self, small_ctx):
+        """Per-worker deques execute a spawn tree mostly locally (cheap
+        owner pops); the central queue forces every push and pop of
+        every worker through one lock."""
+        from repro.kernels import fib
+
+        per_worker = StealingScheduler(fib.graph(14), 8, small_ctx, deque="locked").run().time
+        central = StealingScheduler(
+            fib.graph(14), 8, small_ctx, deque="locked", central_queue=True
+        ).run().time
+        assert central > per_worker
+
+    def test_central_queue_fine_for_flat_bags(self, small_ctx):
+        """On a flat master-spawned bag, per-worker deques degenerate to
+        steal-per-task, so the central queue is not worse there —
+        libgomp's weakness is specifically recursive task parallelism."""
+        fine = wide_graph(512, 0.2e-6)
+        per_worker = StealingScheduler(fine, 8, small_ctx, deque="locked").run().time
+        central = StealingScheduler(
+            wide_graph(512, 0.2e-6), 8, small_ctx, deque="locked", central_queue=True
+        ).run().time
+        assert central <= per_worker * 1.05
+
+    def test_deterministic(self, small_ctx):
+        a = StealingScheduler(
+            wide_graph(100), 4, small_ctx, deque="locked", central_queue=True
+        ).run().time
+        b = StealingScheduler(
+            wide_graph(100), 4, small_ctx, deque="locked", central_queue=True
+        ).run().time
+        assert a == b
+
+
+class TestPresets:
+    def test_gcc_costs_heavier(self):
+        assert GCC_COSTS.omp_task_spawn > INTEL_COSTS.omp_task_spawn
+        assert GCC_COSTS.barrier_cost(16) > INTEL_COSTS.barrier_cost(16)
+
+    def test_intel_is_default(self):
+        assert INTEL_COSTS == ExecContext().costs
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return compare_task_runtimes(n=14, threads=(1, 4, 8))
+
+    def test_all_runtimes_present(self, results):
+        assert set(results) == set(RUNTIMES)
+
+    def test_ordering(self, results):
+        for i in range(3):
+            assert results["cilk"][i] <= results["intel_omp"][i] <= results["gcc_libgomp"][i]
+
+    def test_libgomp_scales_worst(self, results):
+        sp = {r: results[r][0] / results[r][-1] for r in RUNTIMES}
+        assert sp["gcc_libgomp"] < sp["intel_omp"]
+        assert sp["gcc_libgomp"] < sp["cilk"]
+
+    def test_render(self, results):
+        text = render_comparison(results, (1, 4, 8), 14)
+        assert "gcc_libgomp" in text and "p=8" in text
+
+    def test_unknown_runtime(self):
+        with pytest.raises(ValueError):
+            compare_task_runtimes(n=10, threads=(1,), runtimes=("tbb_flow",))

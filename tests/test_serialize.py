@@ -1,0 +1,56 @@
+"""Tests for sweep JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import run_experiment
+from repro.core.report import figure_table
+from repro.core.serialize import dump_sweep, load_sweep, sweep_from_dict, sweep_to_dict
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_experiment("fib", threads=(1, 4), n=21)  # includes a hang
+
+
+class TestRoundTrip:
+    def test_times_survive(self, sweep):
+        back = sweep_from_dict(sweep_to_dict(sweep))
+        for v in sweep.versions:
+            assert back.times(v) == sweep.times(v)
+
+    def test_errors_survive(self, sweep):
+        back = sweep_from_dict(sweep_to_dict(sweep))
+        assert back.errors == sweep.errors
+
+    def test_config_survives(self, sweep):
+        back = sweep_from_dict(sweep_to_dict(sweep))
+        assert back.workload == sweep.workload
+        assert back.threads == sweep.threads
+        assert back.figure == sweep.figure
+        assert back.config.params == dict(sweep.config.params)
+
+    def test_summary_stats_present(self, sweep):
+        d = sweep_to_dict(sweep)
+        run = d["runs"]["omp_task@1"]
+        assert run["time"] > 0 and run["tasks"] > 0
+
+    def test_rendered_tables_match(self, sweep):
+        back = sweep_from_dict(sweep_to_dict(sweep))
+        assert figure_table(back) == figure_table(sweep)
+
+    def test_json_serializable(self, sweep):
+        json.dumps(sweep_to_dict(sweep))
+
+    def test_file_round_trip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        dump_sweep(sweep, str(path))
+        back = load_sweep(str(path))
+        assert back.times("cilk_spawn") == sweep.times("cilk_spawn")
+
+    def test_version_check(self, sweep):
+        d = sweep_to_dict(sweep)
+        d["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            sweep_from_dict(d)

@@ -1,0 +1,227 @@
+"""Tests for the workload IR: tasks, graphs, iteration spaces, programs."""
+
+import numpy as np
+import pytest
+
+from repro.sim.task import (
+    IterSpace,
+    LoopRegion,
+    Program,
+    SerialRegion,
+    TaskGraph,
+    TaskRegion,
+)
+
+
+class TestTaskGraph:
+    def test_add_returns_sequential_ids(self):
+        g = TaskGraph()
+        assert [g.add(1.0) for _ in range(3)] == [0, 1, 2]
+        assert len(g) == 3
+
+    def test_dependencies_build_successors(self):
+        g = TaskGraph()
+        a = g.add(1.0)
+        b = g.add(1.0, deps=[a])
+        c = g.add(1.0, deps=[a, b])
+        assert g.successors[a] == [b, c]
+        assert g.successors[b] == [c]
+        assert g.roots == [a]
+        assert g.indegrees() == [0, 1, 2]
+
+    def test_forward_dep_rejected(self):
+        g = TaskGraph()
+        g.add(1.0)
+        with pytest.raises(ValueError, match="unknown/future"):
+            g.add(1.0, deps=[5])
+
+    def test_self_dep_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add(1.0, deps=[0])  # would be its own id
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph().add(-1.0)
+
+    def test_bad_locality_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph().add(1.0, locality=2.0)
+
+    def test_total_work(self):
+        g = TaskGraph()
+        g.add(1.0)
+        g.add(2.5)
+        assert g.total_work() == pytest.approx(3.5)
+
+    def test_critical_path_chain(self):
+        g = TaskGraph()
+        prev = g.add(1.0)
+        for _ in range(4):
+            prev = g.add(1.0, deps=[prev])
+        assert g.critical_path() == pytest.approx(5.0)
+
+    def test_critical_path_diamond(self):
+        g = TaskGraph()
+        a = g.add(1.0)
+        b = g.add(5.0, deps=[a])
+        c = g.add(1.0, deps=[a])
+        g.add(1.0, deps=[b, c])
+        assert g.critical_path() == pytest.approx(7.0)
+
+    def test_critical_path_le_total_work(self):
+        g = TaskGraph()
+        a = g.add(3.0)
+        g.add(2.0, deps=[a])
+        g.add(4.0, deps=[a])
+        assert g.critical_path() <= g.total_work()
+
+    def test_validate_passes_on_wellformed(self):
+        g = TaskGraph()
+        a = g.add(1.0)
+        g.add(1.0, deps=[a])
+        g.validate()
+
+    def test_empty_graph(self):
+        g = TaskGraph()
+        assert g.roots == []
+        assert g.critical_path() == 0.0
+        assert g.total_work() == 0.0
+
+
+class TestIterSpaceUniform:
+    def test_totals(self):
+        s = IterSpace.uniform(1000, 1e-6, 8.0)
+        assert s.total_work == pytest.approx(1e-3)
+        assert s.total_bytes == pytest.approx(8000.0)
+
+    def test_chunk_cost_proportional(self):
+        s = IterSpace.uniform(1000, 1e-6, 8.0)
+        w, b = s.chunk_cost(0, 500)
+        assert w == pytest.approx(5e-4)
+        assert b == pytest.approx(4000.0)
+
+    def test_chunk_cost_additive(self):
+        s = IterSpace.uniform(997, 2e-6, 3.0)
+        w1, b1 = s.chunk_cost(0, 400)
+        w2, b2 = s.chunk_cost(400, 997)
+        assert w1 + w2 == pytest.approx(s.total_work)
+        assert b1 + b2 == pytest.approx(s.total_bytes)
+
+    def test_empty_chunk_is_free(self):
+        s = IterSpace.uniform(10, 1.0)
+        assert s.chunk_cost(5, 5) == (0.0, 0.0)
+
+    def test_out_of_range_rejected(self):
+        s = IterSpace.uniform(10, 1.0)
+        with pytest.raises(ValueError):
+            s.chunk_cost(0, 11)
+        with pytest.raises(ValueError):
+            s.chunk_cost(-1, 5)
+        with pytest.raises(ValueError):
+            s.chunk_cost(7, 3)
+
+    def test_chunk_costs_vectorized_matches_scalar(self):
+        s = IterSpace.uniform(1000, 1e-6, 4.0)
+        bounds = np.array([0, 100, 350, 999, 1000])
+        ws, bs = s.chunk_costs(bounds)
+        for i in range(len(bounds) - 1):
+            w, b = s.chunk_cost(int(bounds[i]), int(bounds[i + 1]))
+            assert ws[i] == pytest.approx(w)
+            assert bs[i] == pytest.approx(b)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            IterSpace.uniform(0, 1.0)
+        with pytest.raises(ValueError):
+            IterSpace(10, np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            IterSpace(10, np.array([-1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            IterSpace.uniform(10, 1.0, locality=1.5)
+
+
+class TestIterSpaceProfile:
+    def test_from_profile_preserves_totals(self):
+        rng = np.random.default_rng(1)
+        work = rng.random(5000)
+        s = IterSpace.from_profile(work, max_blocks=128)
+        assert s.nblocks == 128
+        assert s.total_work == pytest.approx(work.sum())
+
+    def test_from_profile_exact_when_small(self):
+        work = np.array([1.0, 2.0, 3.0, 4.0])
+        s = IterSpace.from_profile(work)
+        w, _ = s.chunk_cost(1, 3)
+        assert w == pytest.approx(5.0)
+
+    def test_skew_visible_at_block_resolution(self):
+        work = np.concatenate([np.full(500, 1.0), np.full(500, 3.0)])
+        s = IterSpace.from_profile(work, max_blocks=10)
+        w_lo, _ = s.chunk_cost(0, 500)
+        w_hi, _ = s.chunk_cost(500, 1000)
+        assert w_hi == pytest.approx(3 * w_lo)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            IterSpace.from_profile(np.array([]))
+
+    def test_bytes_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IterSpace.from_profile(np.ones(5), np.ones(6))
+
+    def test_with_extra_work_per_iter(self):
+        s = IterSpace.uniform(1000, 1e-6, 8.0)
+        s2 = s.with_extra_work_per_iter(1e-6)
+        assert s2.total_work == pytest.approx(2e-3)
+        assert s2.total_bytes == pytest.approx(s.total_bytes)
+        assert s2.niter == s.niter
+
+    def test_with_extra_zero_returns_self(self):
+        s = IterSpace.uniform(10, 1.0)
+        assert s.with_extra_work_per_iter(0.0) is s
+
+    def test_with_extra_negative_rejected(self):
+        with pytest.raises(ValueError):
+            IterSpace.uniform(10, 1.0).with_extra_work_per_iter(-1.0)
+
+
+class TestRegionsAndProgram:
+    def test_program_accumulates_regions(self):
+        prog = Program("p")
+        prog.add(SerialRegion(1.0)).add(
+            LoopRegion(IterSpace.uniform(10, 1.0), "worksharing")
+        )
+        assert len(prog) == 2
+        assert prog.serial_work() == pytest.approx(1.0)
+
+    def test_task_region_static_graph(self):
+        g = TaskGraph()
+        g.add(1.0)
+        r = TaskRegion(g, "stealing")
+        assert r.graph_for(4) is g
+
+    def test_task_region_builder_gets_nthreads(self):
+        seen = []
+
+        def builder(p):
+            seen.append(p)
+            g = TaskGraph()
+            g.add(float(p))
+            return g
+
+        r = TaskRegion(builder, "stealing")
+        g = r.graph_for(7)
+        assert seen == [7]
+        assert g.tasks[0].work == 7.0
+
+    def test_task_region_builder_type_checked(self):
+        r = TaskRegion(lambda p: "nope", "stealing")
+        with pytest.raises(TypeError):
+            r.graph_for(2)
+
+    def test_program_iterates_in_order(self):
+        prog = Program("p")
+        a, b = SerialRegion(1.0), SerialRegion(2.0)
+        prog.add(a).add(b)
+        assert list(prog) == [a, b]

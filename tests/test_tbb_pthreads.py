@@ -1,0 +1,121 @@
+"""Tests for the TBB and PThreads extension front-ends."""
+
+import pytest
+
+from repro.models import pthreads, tbb
+from repro.runtime.run import execute_region, run_program
+from repro.sim.task import IterSpace, TaskGraph
+
+
+@pytest.fixture
+def space():
+    return IterSpace.uniform(100_000, 1e-8, 8.0)
+
+
+class TestTBBParallelFor:
+    def test_partitioners_accepted(self, space, ctx):
+        for part in ("auto", "simple", "affinity"):
+            res = execute_region(tbb.parallel_for(space, partitioner=part), 8, ctx)
+            assert res.time > 0
+
+    def test_unknown_partitioner(self, space):
+        with pytest.raises(ValueError, match="partitioner"):
+            tbb.parallel_for(space, partitioner="range")
+
+    def test_simple_partitioner_is_fine_grained(self, space, ctx):
+        simple = execute_region(tbb.parallel_for(space, partitioner="simple"), 8, ctx)
+        auto = execute_region(tbb.parallel_for(space, partitioner="auto"), 8, ctx)
+        assert simple.time > auto.time
+        assert simple.total_tasks > auto.total_tasks
+
+    def test_affinity_partitioner_avoids_placement_penalty(self, ctx):
+        # bandwidth-bound loop where scatter hurts
+        mem_space = IterSpace.uniform(1_000_000, 0.1e-9, 24.0)
+        auto = execute_region(tbb.parallel_for(mem_space, partitioner="auto"), 8, ctx)
+        aff = execute_region(tbb.parallel_for(mem_space, partitioner="affinity"), 8, ctx)
+        assert aff.time < auto.time
+
+    def test_work_conserved(self, space, ctx):
+        res = execute_region(tbb.parallel_for(space), 4, ctx)
+        assert res.total_busy >= space.total_work * 0.99
+
+
+class TestTBBReduceAndTasks:
+    def test_reduce_close_to_for(self, space, ctx):
+        """parallel_reduce costs a join per split, NOT a per-access
+        hyperobject like a Cilk reducer."""
+        plain = execute_region(tbb.parallel_for(space), 8, ctx)
+        reduce_ = execute_region(tbb.parallel_reduce(space), 8, ctx)
+        assert reduce_.time < plain.time * 1.2
+
+    def test_task_spawn_graph(self, ctx):
+        g = TaskGraph()
+        for _ in range(64):
+            g.add(1e-6)
+        res = execute_region(tbb.task_spawn_graph(g), 8, ctx)
+        assert res.total_tasks == 64
+
+
+class TestTBBPipeline:
+    def test_pipeline_graph_structure(self):
+        g = tbb.pipeline_graph([1e-6, 2e-6], [True, False], 5)
+        assert len(g) == 10
+        g.validate()
+        # serial first stage: token i depends on token i-1
+        assert g.tasks[1].deps == (0,)
+        # parallel second stage: token i depends only on stage-1 token i
+        stage2 = [t for t in g.tasks if t.tag == "stage1"]
+        assert all(len(t.deps) == 1 for t in stage2)
+
+    def test_serial_stage_bounds_throughput(self, ctx):
+        ntokens = 100
+        serial_work = 2e-6
+        region = tbb.pipeline([serial_work, 1e-6], [True, False], ntokens)
+        res = execute_region(region, 8, ctx)
+        assert res.time >= ntokens * serial_work
+
+    def test_parallel_pipeline_scales(self, ctx):
+        region1 = tbb.pipeline([5e-6, 5e-6], [False, False], 64)
+        region8 = tbb.pipeline([5e-6, 5e-6], [False, False], 64)
+        t1 = execute_region(region1, 1, ctx).time
+        t8 = execute_region(region8, 8, ctx).time
+        assert t8 < t1 / 3
+
+    def test_pipeline_validation(self):
+        with pytest.raises(ValueError):
+            tbb.pipeline_graph([1e-6], [True, False], 4)
+        with pytest.raises(ValueError):
+            tbb.pipeline_graph([], [], 4)
+        with pytest.raises(ValueError):
+            tbb.pipeline_graph([1e-6], [True], 0)
+        with pytest.raises(ValueError):
+            tbb.pipeline_graph([-1e-6], [True], 2)
+
+
+class TestPThreads:
+    def test_create_join_matches_cxx_thread(self, space, ctx):
+        from repro.models import cxx11
+
+        t_pthread = execute_region(pthreads.create_join_loop(space), 8, ctx).time
+        t_cxx = execute_region(cxx11.thread_for(space), 8, ctx).time
+        assert t_pthread == pytest.approx(t_cxx)
+
+    def test_spmd_program_single_setup(self, space, ctx):
+        prog = pthreads.spmd_program("app", [space] * 6)
+        assert prog.meta["pool_setup"] is True
+        res = run_program(prog, 8, ctx)
+        assert len(res.regions) == 6
+
+    def test_spmd_beats_create_per_phase(self, space, ctx):
+        from repro.sim.task import Program
+
+        spmd = pthreads.spmd_program("spmd", [space] * 10)
+        naive = Program("naive")
+        for _ in range(10):
+            naive.add(pthreads.create_join_loop(space))
+        assert run_program(spmd, 16, ctx).time < run_program(naive, 16, ctx).time
+
+    def test_reduction_last_phase(self, space, ctx):
+        prog = pthreads.spmd_program("app", [space] * 2, reduction_last=True)
+        assert prog.regions[-1].params["reduction"] is True
+        assert prog.regions[0].params["reduction"] is False

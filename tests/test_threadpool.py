@@ -1,0 +1,121 @@
+"""Tests for the bare-thread (C++11/PThreads) executor."""
+
+import pytest
+
+from repro.runtime.base import ExecContext, ThreadExplosionError
+from repro.runtime.threadpool import run_threadpool_graph, run_threadpool_loop
+from repro.sim.task import IterSpace, TaskGraph
+
+
+@pytest.fixture
+def space():
+    return IterSpace.uniform(10_000, 1e-7, 0.0)
+
+
+class TestLoop:
+    def test_one_chunk_per_thread_default(self, space, ctx):
+        res = run_threadpool_loop(space, 4, ctx)
+        assert res.meta["nthreads_created"] == 4
+        assert res.total_tasks == 4
+
+    def test_creation_is_serial_in_master(self, space, ctx):
+        t2 = run_threadpool_loop(space, 2, ctx, mode="thread").time
+        t16_small = run_threadpool_loop(
+            IterSpace.uniform(16, 1e-9), 16, ctx, mode="thread"
+        ).time
+        # 16 creations+joins dominate a trivial loop
+        assert t16_small >= 16 * ctx.costs.thread_create
+
+    def test_async_cheaper_creation_than_thread(self, space, ctx):
+        tiny = IterSpace.uniform(64, 1e-9)
+        t_thread = run_threadpool_loop(tiny, 16, ctx, mode="thread").time
+        t_async = run_threadpool_loop(tiny, 16, ctx, mode="async").time
+        assert t_async < t_thread
+
+    def test_parallel_speedup(self, space, ctx):
+        t1 = run_threadpool_loop(space, 1, ctx).time
+        t8 = run_threadpool_loop(space, 8, ctx).time
+        assert t8 < t1
+
+    def test_oversubscription_degrades(self, ctx):
+        space = IterSpace.uniform(100_000, 1e-7)
+        t36 = run_threadpool_loop(space, 36, ctx, nchunks=36).time
+        t200 = run_threadpool_loop(space, 36, ctx, nchunks=200).time
+        # 200 threads on 72 contexts: creation + timeslicing hurt
+        assert t200 > t36
+
+    def test_explosion_guard(self, space, ctx):
+        with pytest.raises(ThreadExplosionError):
+            run_threadpool_loop(
+                IterSpace.uniform(100_000, 1e-9), 4, ctx, nchunks=ctx.thread_cap + 1
+            )
+
+    def test_reduction_combine_charged(self, space, ctx):
+        plain = run_threadpool_loop(space, 8, ctx).time
+        red = run_threadpool_loop(space, 8, ctx, reduction=True).time
+        assert red == pytest.approx(plain + 8 * ctx.costs.atomic_op, rel=1e-6)
+
+    def test_persistent_pool_skips_creation(self, space, ctx):
+        per_phase = run_threadpool_loop(space, 8, ctx, mode="thread").time
+        persistent = run_threadpool_loop(space, 8, ctx, mode="thread", persistent=True).time
+        assert persistent < per_phase
+        assert (per_phase - persistent) > 4 * ctx.costs.thread_create
+
+    def test_persistent_pays_manual_barrier(self, space, ctx):
+        res = run_threadpool_loop(space, 8, ctx, persistent=True)
+        floor = space.total_work / 8
+        assert res.time >= floor + ctx.costs.condvar_wake
+
+    def test_work_conservation(self, space, ctx):
+        res = run_threadpool_loop(space, 6, ctx)
+        assert res.total_busy == pytest.approx(space.total_work, rel=1e-3)
+
+    def test_invalid_mode(self, space, ctx):
+        with pytest.raises(ValueError):
+            run_threadpool_loop(space, 4, ctx, mode="fibers")
+
+    def test_invalid_threads(self, space, ctx):
+        with pytest.raises(ValueError):
+            run_threadpool_loop(space, 0, ctx)
+
+
+class TestGraph:
+    def tree(self, depth):
+        g = TaskGraph("tree")
+
+        def rec(d, dep):
+            tid = g.add(1e-6, deps=dep)
+            if d > 0:
+                rec(d - 1, (tid,))
+                rec(d - 1, (tid,))
+            return tid
+
+        rec(depth, ())
+        return g
+
+    def test_small_tree_runs(self, ctx):
+        res = run_threadpool_graph(self.tree(4), 8, ctx)
+        assert res.time > 0
+        assert res.meta["nthreads_created"] == 31
+
+    def test_explosion_at_cap(self, ctx):
+        from dataclasses import replace
+
+        tight = replace(ctx, thread_cap=10)
+        with pytest.raises(ThreadExplosionError, match="hangs"):
+            run_threadpool_graph(self.tree(4), 8, tight)
+
+    def test_empty_graph(self, ctx):
+        assert run_threadpool_graph(TaskGraph(), 4, ctx).time == 0.0
+
+    def test_critical_path_lower_bound(self, ctx):
+        g = TaskGraph()
+        prev = None
+        for _ in range(10):
+            prev = g.add(1e-3, deps=[prev] if prev is not None else [])
+        res = run_threadpool_graph(g, 8, ctx)
+        assert res.time >= 10e-3
+
+    def test_invalid_mode(self, ctx):
+        with pytest.raises(ValueError):
+            run_threadpool_graph(self.tree(2), 4, ctx, mode="green")

@@ -1,0 +1,59 @@
+"""Tests for the work-first vs breadth-first task scheduling policy."""
+
+import pytest
+
+from repro.kernels import fib
+from repro.runtime.workstealing import StealingScheduler
+from repro.sim.task import TaskGraph
+
+
+def chain(n, work=1e-6):
+    g = TaskGraph("chain")
+    prev = None
+    for _ in range(n):
+        prev = g.add(work, deps=[prev] if prev is not None else [])
+    return g
+
+
+class TestWorkFirst:
+    def test_completes_dag(self, small_ctx):
+        res = StealingScheduler(fib.graph(10), 4, small_ctx, work_first=True).run()
+        assert res.total_tasks == len(fib.graph(10))
+
+    def test_work_conserved(self, small_ctx):
+        g = fib.graph(10)
+        res = StealingScheduler(fib.graph(10), 4, small_ctx, work_first=True).run()
+        assert res.total_busy == pytest.approx(g.total_work(), rel=1e-6)
+
+    def test_chain_never_touches_deque(self, small_ctx):
+        """A dependency chain is pure execute-on-creation: zero pushes
+        after the root."""
+        sched = StealingScheduler(chain(20), 1, small_ctx, work_first=True)
+        sched.run()
+        assert sched.deques[0].pushes == 1  # only the root seed
+
+    def test_breadth_first_queues_everything(self, small_ctx):
+        sched = StealingScheduler(chain(20), 1, small_ctx, work_first=False)
+        sched.run()
+        assert sched.deques[0].pushes == 20
+
+    def test_work_first_cheaper_on_spawn_trees(self, small_ctx):
+        """Half the deque traffic disappears; the paper's reason Cilk's
+        work-first discipline is the cheap path."""
+        wf = StealingScheduler(fib.graph(14), 1, small_ctx, deque="locked", work_first=True)
+        bf = StealingScheduler(fib.graph(14), 1, small_ctx, deque="locked", work_first=False)
+        t_wf, t_bf = wf.run().time, bf.run().time
+        assert t_wf < t_bf
+        assert wf.deques[0].pushes < bf.deques[0].pushes
+
+    def test_parallelism_preserved(self, small_ctx):
+        """Diving into one child must not serialize the others."""
+        g = fib.graph(12)
+        t1 = StealingScheduler(fib.graph(12), 1, small_ctx, work_first=True).run().time
+        t8 = StealingScheduler(g, 8, small_ctx, work_first=True).run().time
+        assert t8 < t1 / 3
+
+    def test_deterministic(self, small_ctx):
+        a = StealingScheduler(fib.graph(12), 4, small_ctx, work_first=True).run().time
+        b = StealingScheduler(fib.graph(12), 4, small_ctx, work_first=True).run().time
+        assert a == b
