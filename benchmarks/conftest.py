@@ -34,6 +34,25 @@ def ctx() -> ExecContext:
     return ExecContext()
 
 
+@pytest.fixture(autouse=True)
+def _validate_every_result(monkeypatch):
+    """Run the cheap trace-invariant audit on every simulated result.
+
+    ``run_experiment`` resolves ``run_program`` through its own module
+    namespace, so patching it there covers every figure sweep.  A
+    violated invariant (overlapping intervals, dropped work, impossible
+    makespan) fails the benchmark instead of silently producing a
+    plausible-looking table.
+    """
+    import repro.core.experiment as experiment
+    from repro.runtime.run import run_program
+
+    def checked(program, nthreads, ctx_, version="", validate=True):
+        return run_program(program, nthreads, ctx_, version, validate=True)
+
+    monkeypatch.setattr(experiment, "run_program", checked)
+
+
 @pytest.fixture(scope="session")
 def out_dir() -> pathlib.Path:
     OUT_DIR.mkdir(exist_ok=True)

@@ -10,7 +10,12 @@ Commands mirror the paper's artifacts:
 - ``microbench``   — EPCC-style runtime-overhead table;
 - ``offload``      — the host-vs-accelerator extension study;
 - ``machine``      — describe the simulated testbed;
-- ``report``       — regenerate every table/figure/claim into a directory.
+- ``report``       — regenerate every table/figure/claim into a directory;
+- ``validate``     — audit the simulator itself (trace invariants,
+  differential runtime oracle, random-program property suite).
+
+Exit codes: 0 success, 1 failed checks (claims/validate), 2 bad input
+(unknown workload or model name).
 """
 
 from __future__ import annotations
@@ -49,6 +54,17 @@ def build_parser() -> argparse.ArgumentParser:
     off = sub.add_parser("offload", help="host vs accelerator study")
     off.add_argument("--n", type=int, default=8_000_000)
     off.add_argument("--iterations", type=int, default=10)
+
+    val = sub.add_parser("validate", help="audit the simulator's own traces")
+    val.add_argument(
+        "--deep", action="store_true",
+        help="wider thread sweeps (into SMT/oversubscription) and 5x the "
+             "random programs",
+    )
+    val.add_argument("--seed", type=int, default=0,
+                     help="seed for the random-program property suite")
+    val.add_argument("--programs", type=int, default=None,
+                     help="number of random programs (default 20, or 100 with --deep)")
 
     rep = sub.add_parser("report", help="regenerate every table/figure/claim")
     rep.add_argument("--out", default="report_out")
@@ -149,6 +165,14 @@ def _cmd_offload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validate import run_validation
+
+    report = run_validation(deep=args.deep, seed=args.seed, programs=args.programs)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     try:
@@ -159,6 +183,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except Exception:
             pass
         return 0
+    except (KeyError, ValueError) as exc:
+        # unknown workload / model / version names arrive here
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -178,6 +206,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_microbench(args)
     if args.command == "offload":
         return _cmd_offload(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -31,6 +31,10 @@ class WorkloadSpec:
     paper_params: Mapping[str, Any]
     default_params: Mapping[str, Any]
     description: str
+    validation_params: Mapping[str, Any] = field(default_factory=dict)
+    """Tiny structure-preserving problem size used by ``repro validate``
+    to invariant-check every workload x version in seconds, not minutes.
+    Empty means: validate at ``default_params``."""
 
     def build(self, version: str, machine: Machine, **overrides: Any) -> Program:
         """Build this workload's program for ``version``.
@@ -64,6 +68,7 @@ _add(
         versions=VERSIONS,
         paper_params={"n": 100_000_000},
         default_params={"n": 8_000_000},
+        validation_params={"n": 120_000},
         description="y = a*x + y over N doubles; bandwidth bound",
     )
 )
@@ -75,6 +80,7 @@ _add(
         versions=VERSIONS,
         paper_params={"n": 100_000_000},
         default_params={"n": 8_000_000},
+        validation_params={"n": 120_000},
         description="s = sum(a*X[i]); worksharing + reduction",
     )
 )
@@ -86,6 +92,7 @@ _add(
         versions=VERSIONS,
         paper_params={"n": 40_000},
         default_params={"n": 40_000},
+        validation_params={"n": 1_500},
         description="dense matrix-vector product over rows",
     )
 )
@@ -97,6 +104,7 @@ _add(
         versions=VERSIONS,
         paper_params={"n": 2048},
         default_params={"n": 2048},
+        validation_params={"n": 96},
         description="dense matrix-matrix product over rows; compute bound",
     )
 )
@@ -108,6 +116,7 @@ _add(
         versions=TASK_ONLY_VERSIONS,
         paper_params={"n": 40},
         default_params={"n": 22},
+        validation_params={"n": 12},
         description="recursive task-parallel Fibonacci (spawn tree)",
     )
 )
@@ -119,6 +128,7 @@ _add(
         versions=VERSIONS,
         paper_params={"n_nodes": 16_000_000},
         default_params={"n_nodes": 2_000_000},
+        validation_params={"n_nodes": 30_000},
         description="level-synchronous BFS over a 16M-node random graph",
     )
 )
@@ -130,6 +140,7 @@ _add(
         versions=VERSIONS,
         paper_params={"grid": 8192, "steps": 6},
         default_params={"grid": 2048, "steps": 4},
+        validation_params={"grid": 192, "steps": 2},
         description="thermal stencil with dependent phases and skewed rows",
     )
 )
@@ -141,6 +152,7 @@ _add(
         versions=VERSIONS,
         paper_params={"n": 2048, "block": 32},
         default_params={"n": 1024, "block": 32},
+        validation_params={"n": 128, "block": 32},
         description="blocked LU decomposition with shrinking parallel phases",
     )
 )
@@ -152,6 +164,7 @@ _add(
         versions=VERSIONS,
         paper_params={"boxes1d": 10},
         default_params={"boxes1d": 8},
+        validation_params={"boxes1d": 3},
         description="uniform heavy per-box n-body compute",
     )
 )
@@ -163,6 +176,7 @@ _add(
         versions=VERSIONS,
         paper_params={"grid": 2048, "iters": 100},
         default_params={"grid": 2048, "iters": 10},
+        validation_params={"grid": 192, "iters": 2},
         description="speckle-reducing anisotropic diffusion stencil",
     )
 )

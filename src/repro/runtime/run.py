@@ -59,7 +59,13 @@ def execute_region(
     if isinstance(region, SerialRegion):
         dur = ctx.duration(region.work, region.membytes, region.locality, 1)
         w = WorkerStats(busy=dur, tasks=1)
-        return RegionResult(time=dur, nthreads=1, workers=[w], meta={"serial": True})
+        meta = {
+            "serial": True,
+            "expected_work": region.work,
+            "expected_bytes": region.membytes,
+            "expected_locality": region.locality,
+        }
+        return RegionResult(time=dur, nthreads=1, workers=[w], meta=meta)
 
     if isinstance(region, LoopRegion):
         params = dict(region.params)
@@ -105,8 +111,16 @@ def run_program(
     nthreads: int,
     ctx: ExecContext,
     version: str = "",
+    validate: bool = False,
 ) -> SimResult:
-    """Execute all regions of ``program`` in order at ``nthreads``."""
+    """Execute all regions of ``program`` in order at ``nthreads``.
+
+    ``validate=True`` runs the cheap physical-plausibility audit from
+    :mod:`repro.validate` on the finished result and raises
+    :class:`~repro.validate.invariants.SimulationInvariantError` if any
+    invariant is violated (interval overlap, work non-conservation,
+    makespan below its lower bounds, ...).
+    """
     if nthreads <= 0:
         raise ValueError("nthreads must be positive")
     regions = []
@@ -118,10 +132,16 @@ def run_program(
         res = execute_region(region, nthreads, ctx)
         regions.append(res)
         total += res.time
-    return SimResult(
+    result = SimResult(
         program=program.name,
         version=version or program.meta.get("version", ""),
         nthreads=nthreads,
         time=total,
         regions=regions,
     )
+    if validate:
+        # imported lazily: repro.validate depends on the runtime layer
+        from repro.validate.invariants import check_result
+
+        check_result(result, ctx=ctx).raise_if_failed()
+    return result

@@ -103,7 +103,14 @@ def run_threadpool_loop(
         # condvar wake at phase start + two manual barriers (release the
         # workers, wait for the last one)
         t_join += costs.condvar_wake + 2 * costs.barrier_cost(n)
-    meta = {"mode": mode, "nthreads_created": 0 if persistent else n, "persistent": persistent}
+    meta = {
+        "mode": mode,
+        "nthreads_created": 0 if persistent else n,
+        "persistent": persistent,
+        "expected_work": space.total_work * work_scale,
+        "expected_bytes": space.total_bytes,
+        "expected_locality": space.locality,
+    }
     return RegionResult(time=t_join, nthreads=nthreads, workers=workers, meta=meta)
 
 
@@ -165,9 +172,21 @@ def run_threadpool_graph(
         overhead=ntasks * (create + finalize),
         tasks=ntasks,
     )
+    byte_locs = [t.locality for t in graph.tasks if t.membytes > 0]
     return RegionResult(
         time=time,
         nthreads=nthreads,
         workers=[w],
-        meta={"mode": mode, "nthreads_created": ntasks},
+        meta={
+            "mode": mode,
+            "nthreads_created": ntasks,
+            # one WorkerStats sums over all created threads, so per-worker
+            # wall-clock caps do not apply to it
+            "aggregate_workers": True,
+            "expected_work": graph.total_work(),
+            "expected_bytes": float(sum(t.membytes for t in graph.tasks)),
+            "expected_locality": max(byte_locs) if byte_locs else 1.0,
+            "expected_locality_min": min(byte_locs) if byte_locs else 1.0,
+            "critical_path": graph.critical_path(),
+        },
     )

@@ -154,6 +154,11 @@ def run_worksharing_loop(
         for w in workers:
             w.overhead += costs.reduction_per_thread
     meta["loop_time"] = loop_time
+    # Useful-work accounting for the invariant checker: worker busy time
+    # must conserve exactly this iteration space.
+    meta["expected_work"] = space.total_work * work_scale
+    meta["expected_bytes"] = space.total_bytes
+    meta["expected_locality"] = space.locality
     return RegionResult(time=total, nthreads=p, workers=workers, meta=meta)
 
 

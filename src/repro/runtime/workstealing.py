@@ -89,6 +89,11 @@ class StealingScheduler:
     reducer:
         Charge Cilk reducer semantics: a view creation per steal and a
         view merge per steal at the final sync.
+    audit:
+        Record the validation audit logs: per-deque ``SimLock`` grant
+        triples and the engine's processed-event times, exposed through
+        the result meta (``lock_audit``, ``event_times``) for
+        :mod:`repro.validate` to check exclusivity and monotonicity.
     """
 
     def __init__(
@@ -106,6 +111,7 @@ class StealingScheduler:
         record: bool = False,
         central_queue: bool = False,
         work_first: bool = False,
+        audit: bool = False,
     ) -> None:
         if nthreads <= 0:
             raise ValueError("nthreads must be positive")
@@ -122,8 +128,11 @@ class StealingScheduler:
         self.reducer = reducer
 
         self.engine = Engine()
+        self.audit = audit
+        if audit:
+            self.engine.enable_audit()
         self.rng = random.Random(ctx.seed ^ (len(graph) * 2654435761 % (1 << 30)))
-        self.deques = [make_deque(deque, w, ctx.costs) for w in range(nthreads)]
+        self.deques = [make_deque(deque, w, ctx.costs, audit=audit) for w in range(nthreads)]
         self.stats = [WorkerStats() for _ in range(nthreads)]
         self.state = [_IDLE] * nthreads
         self.remaining = graph.indegrees()
@@ -175,9 +184,35 @@ class StealingScheduler:
             "events": self.engine.events_processed,
             "reducer_views": self.steal_views,
         }
+        meta.update(self._expected_meta())
         if self.record:
             meta["intervals"] = self.intervals
+        if self.audit:
+            meta["lock_audit"] = [
+                (d.lock.name, list(d.lock.log)) for d in self.deques if d.lock.log
+            ]
+            meta["event_times"] = list(self.engine.audit or ())
         return RegionResult(time=finish, nthreads=self.p, workers=self.stats, meta=meta)
+
+    def _expected_meta(self) -> dict:
+        """Useful-work accounting for the invariant checker.
+
+        ``expected_work``/``expected_bytes`` are what the workers' busy
+        time must conserve (every task executed exactly once);
+        ``critical_path`` is a makespan lower bound because per-task
+        durations can only inflate ``work`` (compute speed <= 1).
+        """
+        g = self.graph
+        byte_locs = [t.locality for t in g.tasks if t.membytes > 0]
+        return {
+            "expected_work": g.total_work(),
+            "expected_bytes": float(sum(t.membytes for t in g.tasks)),
+            # best locality bounds bandwidth from above (envelope lower
+            # edge); worst bounds it from below (upper edge)
+            "expected_locality": max(byte_locs) if byte_locs else 1.0,
+            "expected_locality_min": min(byte_locs) if byte_locs else 1.0,
+            "critical_path": g.critical_path(),
+        }
 
     def _run_serial_undeferred(self) -> RegionResult:
         """One thread, tasks executed immediately at creation."""
@@ -192,9 +227,9 @@ class StealingScheduler:
             st.tasks += 1
         self.done = len(self.graph)
         self.finish_time = t
-        return RegionResult(
-            time=t, nthreads=1, workers=self.stats, meta={"steals": 0, "undeferred": True}
-        )
+        meta = {"steals": 0, "undeferred": True}
+        meta.update(self._expected_meta())
+        return RegionResult(time=t, nthreads=1, workers=self.stats, meta=meta)
 
     # ------------------------------------------------------------------
     def _start(self, w: int, tid: int, t: float) -> None:
@@ -415,6 +450,8 @@ def run_stealing_loop(
     exit_cost: Optional[float] = None,
     apply_scatter_penalty: bool = True,
     undeferred_single: bool = False,
+    record: bool = False,
+    audit: bool = False,
 ) -> RegionResult:
     """Execute a parallel loop on the work-stealing runtime.
 
@@ -449,6 +486,8 @@ def run_stealing_loop(
         per_task_overhead=per_task_overhead,
         reducer=reducer,
         undeferred_single=undeferred_single,
+        record=record,
+        audit=audit,
     )
     res = sched.run()
     res.meta["bytes_penalty"] = penalty
@@ -473,6 +512,10 @@ def run_stealing_graph(
     entry_cost: float = 0.0,
     exit_cost: float = 0.0,
     undeferred_single: bool = False,
+    central_queue: bool = False,
+    work_first: bool = False,
+    record: bool = False,
+    audit: bool = False,
 ) -> RegionResult:
     """Execute an explicit task DAG on the work-stealing runtime."""
     sched = StealingScheduler(
@@ -484,6 +527,10 @@ def run_stealing_graph(
         per_task_overhead=per_task_overhead,
         reducer=reducer,
         undeferred_single=undeferred_single,
+        central_queue=central_queue,
+        work_first=work_first,
+        record=record,
+        audit=audit,
     )
     res = sched.run()
     return RegionResult(

@@ -34,9 +34,9 @@ class WorkDeque:
 
     __slots__ = ("items", "lock", "owner", "pushes", "pops", "steals", "failed_steals")
 
-    def __init__(self, owner: int, name: str = "deque") -> None:
+    def __init__(self, owner: int, name: str = "deque", audit: bool = False) -> None:
         self.items: _pydeque[int] = _pydeque()
-        self.lock = SimLock(f"{name}[{owner}]")
+        self.lock = SimLock(f"{name}[{owner}]", audit=audit)
         self.owner = owner
         self.pushes = 0
         self.pops = 0
@@ -68,8 +68,10 @@ class THEDeque(WorkDeque):
 
     __slots__ = ("_costs",)
 
-    def __init__(self, owner: int, costs: CostModel, name: str = "the") -> None:
-        super().__init__(owner, name)
+    def __init__(
+        self, owner: int, costs: CostModel, name: str = "the", audit: bool = False
+    ) -> None:
+        super().__init__(owner, name, audit=audit)
         self._costs = costs
 
     def push(self, t: float, tid: int) -> float:
@@ -105,8 +107,10 @@ class LockedDeque(WorkDeque):
 
     __slots__ = ("_costs",)
 
-    def __init__(self, owner: int, costs: CostModel, name: str = "locked") -> None:
-        super().__init__(owner, name)
+    def __init__(
+        self, owner: int, costs: CostModel, name: str = "locked", audit: bool = False
+    ) -> None:
+        super().__init__(owner, name, audit=audit)
         self._costs = costs
 
     def push(self, t: float, tid: int) -> float:
@@ -133,10 +137,14 @@ class LockedDeque(WorkDeque):
         return tid, done
 
 
-def make_deque(kind: str, owner: int, costs: CostModel) -> WorkDeque:
-    """Factory: ``kind`` is ``"the"`` (Cilk) or ``"locked"`` (OpenMP)."""
+def make_deque(kind: str, owner: int, costs: CostModel, audit: bool = False) -> WorkDeque:
+    """Factory: ``kind`` is ``"the"`` (Cilk) or ``"locked"`` (OpenMP).
+
+    ``audit=True`` turns on the per-deque :class:`SimLock` grant log for
+    the validation subsystem's exclusivity check.
+    """
     if kind == "the":
-        return THEDeque(owner, costs)
+        return THEDeque(owner, costs, audit=audit)
     if kind == "locked":
-        return LockedDeque(owner, costs)
+        return LockedDeque(owner, costs, audit=audit)
     raise ValueError(f"unknown deque kind {kind!r} (expected 'the' or 'locked')")

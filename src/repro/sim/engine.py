@@ -22,15 +22,30 @@ __all__ = ["Engine", "SimLock"]
 
 
 class Engine:
-    """A deterministic discrete-event simulator clock and queue."""
+    """A deterministic discrete-event simulator clock and queue.
 
-    __slots__ = ("now", "_heap", "_seq", "_events_processed")
+    ``audit`` is an optional event log used by the validation subsystem
+    (:mod:`repro.validate`): when :meth:`enable_audit` has been called,
+    :meth:`run` appends one ``(time, seq)`` pair per processed event, so
+    a checker can verify the clock advanced monotonically and ties were
+    broken by insertion order.  The log is off by default — the hook
+    costs one branch per event when disabled.
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_events_processed", "audit")
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        self.audit: Optional[list[tuple[float, int]]] = None
+
+    def enable_audit(self) -> list[tuple[float, int]]:
+        """Start recording ``(time, seq)`` per processed event."""
+        if self.audit is None:
+            self.audit = []
+        return self.audit
 
     def at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run at absolute simulated ``time``.
@@ -69,6 +84,8 @@ class Engine:
                 break
             heapq.heappop(heap)
             self.now = time
+            if self.audit is not None:
+                self.audit.append((time, _seq))
             callback()
             processed += 1
             if max_events is not None and processed > max_events:
@@ -95,16 +112,22 @@ class SimLock:
     Callers MUST invoke :meth:`acquire` in non-decreasing order of ``t``
     — true for event-driven callers (events fire in time order) and for
     the analytic worksharing dispatcher (chunks dispatched in time order).
+
+    With ``audit=True`` every acquisition is logged as a
+    ``(request, grant, hold)`` triple in :attr:`log`; the validation
+    subsystem checks exclusivity (no two grant windows overlap) and
+    causality (no grant before its request) on that log.
     """
 
-    __slots__ = ("name", "busy_until", "acquisitions", "wait_time", "hold_time")
+    __slots__ = ("name", "busy_until", "acquisitions", "wait_time", "hold_time", "log")
 
-    def __init__(self, name: str = "lock") -> None:
+    def __init__(self, name: str = "lock", audit: bool = False) -> None:
         self.name = name
         self.busy_until: float = 0.0
         self.acquisitions: int = 0
         self.wait_time: float = 0.0
         self.hold_time: float = 0.0
+        self.log: Optional[list[tuple[float, float, float]]] = [] if audit else None
 
     def acquire(self, t: float, hold: float) -> float:
         """Request the lock at time ``t`` for ``hold`` seconds.
@@ -120,6 +143,8 @@ class SimLock:
         self.acquisitions += 1
         self.wait_time += grant - t
         self.hold_time += hold
+        if self.log is not None:
+            self.log.append((t, grant, hold))
         return grant
 
     def acquire_release(self, t: float, hold: float) -> float:

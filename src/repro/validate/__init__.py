@@ -1,0 +1,86 @@
+"""Simulation validation subsystem.
+
+The paper's findings are only as credible as the discrete-event
+simulator that reproduces them, so this package provides three
+independent layers of correctness tooling:
+
+- :mod:`repro.validate.invariants` — a checker that audits any
+  :class:`~repro.sim.trace.SimResult` / :class:`~repro.sim.trace.RegionResult`
+  for physical plausibility: no overlapping busy intervals per worker,
+  monotonic event times, work conservation within the cost model's
+  envelope, lock-hold exclusivity on :class:`~repro.sim.engine.SimLock`
+  grant logs, and makespan at or above its greedy / critical-path lower
+  bounds;
+- :mod:`repro.validate.differential` — an oracle that runs shared
+  workloads through every runtime (worksharing, work stealing,
+  thread pool) and schedule combination and cross-checks determinism,
+  useful-work equality, and speedup ordering;
+- :mod:`repro.validate.properties` — a seeded random-program harness
+  (no extra dependencies) generating nested loop/task/serial programs
+  and checking every invariant under every executor.
+
+``repro validate [--deep]`` runs all three; ``run_program(...,
+validate=True)`` runs the cheap invariant pass on a single result (the
+benchmark suite does this for every result it produces).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.validate.differential import run_differential_matrix, run_registry_audit
+from repro.validate.invariants import (
+    SimulationInvariantError,
+    ValidationReport,
+    Violation,
+    check_event_times,
+    check_intervals,
+    check_lock_log,
+    check_region,
+    check_result,
+)
+from repro.validate.properties import random_program, run_property_suite
+
+__all__ = [
+    "SimulationInvariantError",
+    "ValidationReport",
+    "Violation",
+    "check_event_times",
+    "check_intervals",
+    "check_lock_log",
+    "check_region",
+    "check_result",
+    "random_program",
+    "run_differential_matrix",
+    "run_property_suite",
+    "run_registry_audit",
+    "run_validation",
+]
+
+
+def run_validation(
+    *,
+    deep: bool = False,
+    seed: int = 0,
+    programs: Optional[int] = None,
+) -> ValidationReport:
+    """Run the whole validation battery and return the merged report.
+
+    The default (cheap) pass audits every registry workload at two
+    thread counts, runs the differential runtime matrix, and exercises a
+    modest random-program suite — a few seconds of work, suitable for
+    CI.  ``deep=True`` widens the thread sweep into the SMT regime and
+    multiplies the random-program count.
+    """
+    report = ValidationReport()
+    run_registry_audit(
+        threads=(1, 4, 16, 36) if deep else (1, 4),
+        report=report,
+    )
+    run_differential_matrix(
+        threads=(1, 2, 4, 8, 16, 32) if deep else (1, 2, 4, 8),
+        report=report,
+    )
+    nprog = programs if programs is not None else (100 if deep else 20)
+    run_property_suite(seed=seed, programs=nprog, report=report)
+    return report

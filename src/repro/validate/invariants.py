@@ -1,0 +1,420 @@
+"""Trace invariant checker: is a simulation result physically plausible?
+
+Every invariant here rules out a class of runtime-accounting bug that
+would silently invalidate the paper's cross-runtime comparisons:
+
+- **interval-overlap** — a worker executing two tasks at once means the
+  scheduler double-booked a core; any speedup measured from such a trace
+  is fiction.
+- **event-monotonic** — the engine's clock ran backwards (or broke its
+  insertion-order tie-break), so "earlier/later" in the trace is
+  meaningless.
+- **work-conservation** — total busy seconds must land inside the cost
+  model's envelope ``[max(W, B/bw_1), W/speed_p + B/bw_min]``: below it
+  the runtime dropped work (chunks skipped), above it work was invented
+  or double-executed.
+- **lock-exclusivity** — two overlapping :class:`~repro.sim.engine.SimLock`
+  grant windows mean the deque/loop-counter serialization the paper's
+  contention findings rest on was not actually enforced.
+- **makespan bounds** — a finish time below the critical path or below
+  ``busy / p`` is a scheduling miracle, i.e. an accounting bug.
+- **worker-wallclock** — one worker's busy + overhead seconds cannot
+  exceed the region's wall-clock time (workers are sequential).
+
+Checks accumulate into a :class:`ValidationReport`; callers either
+inspect ``report.ok`` or call :meth:`ValidationReport.raise_if_failed`.
+All tolerances are relative (``_RTOL``) with a tiny absolute floor, so
+the checker works unchanged from nanosecond lock holds to second-scale
+makespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.runtime.base import ExecContext
+from repro.sim.trace import RegionResult, SimResult
+
+__all__ = [
+    "SimulationInvariantError",
+    "Violation",
+    "ValidationReport",
+    "busy_envelope",
+    "check_event_times",
+    "check_intervals",
+    "check_lock_log",
+    "check_region",
+    "check_result",
+]
+
+#: Relative tolerance for float comparisons (sums accumulated in
+#: different orders agree to far better than this).
+_RTOL = 1e-6
+#: Absolute floor so zero-valued quantities compare cleanly.
+_ATOL = 1e-12
+
+
+class SimulationInvariantError(AssertionError):
+    """A simulation result violated a physical-plausibility invariant."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant check."""
+
+    invariant: str  # short id, e.g. "interval-overlap"
+    where: str      # which result/region/worker
+    detail: str     # the numbers that disagree
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.where}: {self.detail}"
+
+
+@dataclass
+class ValidationReport:
+    """Accumulated outcome of a validation run."""
+
+    checks: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def check(self, condition: bool, invariant: str, where: str, detail: str = "") -> bool:
+        """Count one check; record a :class:`Violation` when it fails."""
+        self.checks += 1
+        if not condition:
+            self.violations.append(Violation(invariant, where, detail))
+        return condition
+
+    def merge(self, other: "ValidationReport") -> "ValidationReport":
+        self.checks += other.checks
+        self.violations.extend(other.violations)
+        return self
+
+    def describe(self, max_violations: int = 25) -> str:
+        if self.ok:
+            return f"OK: {self.checks} invariant checks passed"
+        lines = [f"FAILED: {len(self.violations)} of {self.checks} invariant checks"]
+        for v in self.violations[:max_violations]:
+            lines.append(f"  {v}")
+        hidden = len(self.violations) - max_violations
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise SimulationInvariantError(self.describe())
+
+
+def _tol(scale: float) -> float:
+    """Comparison slack appropriate for a quantity of magnitude ``scale``."""
+    return _RTOL * abs(scale) + _ATOL
+
+
+# ---------------------------------------------------------------------------
+# Primitive log checks
+# ---------------------------------------------------------------------------
+def check_intervals(
+    intervals: Iterable[tuple[int, float, float, str]],
+    nworkers: int,
+    *,
+    horizon: Optional[float] = None,
+    report: Optional[ValidationReport] = None,
+    where: str = "intervals",
+) -> ValidationReport:
+    """Audit recorded busy intervals ``(worker, start, end, tag)``.
+
+    Checks: worker ids in range, intervals well-ordered (start <= end)
+    and non-negative, within the region horizon when given, and — the
+    key one — **no two intervals of the same worker overlap**.
+    """
+    rep = report if report is not None else ValidationReport()
+    per_worker: dict[int, list[tuple[float, float]]] = {}
+    for w, s, e, _tag in intervals:
+        rep.check(0 <= w < nworkers, "interval-worker-range", where,
+                  f"worker {w} outside 0..{nworkers - 1}")
+        rep.check(s >= -_ATOL, "interval-nonnegative", where,
+                  f"worker {w} interval starts at {s}")
+        rep.check(e >= s - _tol(e), "interval-ordered", where,
+                  f"worker {w} interval [{s}, {e}) ends before it starts")
+        if horizon is not None:
+            rep.check(e <= horizon + _tol(horizon), "interval-horizon", where,
+                      f"worker {w} interval ends at {e} past horizon {horizon}")
+        per_worker.setdefault(w, []).append((s, e))
+    for w, ivs in per_worker.items():
+        ivs.sort()
+        prev_end = 0.0
+        prev = None
+        for s, e in ivs:
+            if prev is not None:
+                rep.check(
+                    s >= prev_end - _tol(prev_end),
+                    "interval-overlap",
+                    where,
+                    f"worker {w} busy [{s:.9g}, {e:.9g}) overlaps "
+                    f"[{prev[0]:.9g}, {prev[1]:.9g})",
+                )
+            prev_end = max(prev_end, e)
+            prev = (s, e)
+    return rep
+
+
+def check_lock_log(
+    log: Sequence[tuple[float, float, float]],
+    *,
+    report: Optional[ValidationReport] = None,
+    where: str = "lock",
+) -> ValidationReport:
+    """Audit a :class:`~repro.sim.engine.SimLock` grant log.
+
+    Entries are ``(request, grant, hold)``.  Checks causality (no grant
+    before its request, no negative hold) and mutual exclusion: sorted
+    by grant time, each grant window ``[grant, grant + hold)`` must not
+    overlap the previous one.
+    """
+    rep = report if report is not None else ValidationReport()
+    for req, grant, hold in log:
+        rep.check(grant >= req - _tol(req), "lock-causality", where,
+                  f"granted at {grant} before request at {req}")
+        rep.check(hold >= 0.0, "lock-hold-nonnegative", where, f"hold {hold} < 0")
+    ordered = sorted(log, key=lambda entry: entry[1])
+    prev_release = 0.0
+    for _req, grant, hold in ordered:
+        rep.check(
+            grant >= prev_release - _tol(prev_release),
+            "lock-exclusivity",
+            where,
+            f"grant at {grant:.9g} inside previous hold ending {prev_release:.9g}",
+        )
+        prev_release = max(prev_release, grant + hold)
+    return rep
+
+
+def check_event_times(
+    events: Sequence[tuple[float, int]],
+    *,
+    report: Optional[ValidationReport] = None,
+    where: str = "engine",
+) -> ValidationReport:
+    """Audit an engine event log ``(time, seq)``.
+
+    The simulated clock must never run backwards, and simultaneous
+    events must fire in insertion order (the determinism guarantee the
+    whole reproduction rests on).
+    """
+    rep = report if report is not None else ValidationReport()
+    prev_t, prev_seq = None, None
+    for t, seq in events:
+        if prev_t is not None:
+            rep.check(t >= prev_t, "event-monotonic", where,
+                      f"clock went backwards: {prev_t} -> {t}")
+            if t == prev_t:
+                rep.check(seq > prev_seq, "event-tie-order", where,
+                          f"tie at t={t} fired seq {seq} after seq {prev_seq}")
+        prev_t, prev_seq = t, seq
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# Work-conservation envelope
+# ---------------------------------------------------------------------------
+def busy_envelope(
+    work: float,
+    membytes: float,
+    locality: float,
+    p_eff: int,
+    ctx: ExecContext,
+    *,
+    locality_min: Optional[float] = None,
+) -> tuple[float, float]:
+    """Bounds on total busy seconds for executing (``work``, ``membytes``).
+
+    Lower bound: per-thread compute speed never exceeds 1.0 and
+    per-thread bandwidth never exceeds the single-thread figure, and the
+    roofline takes the max of the two terms, so total busy can never be
+    below ``max(work, membytes / bw(1))``.  Upper bound: the slowest
+    regime any of up to ``p_eff`` concurrently active threads can be in
+    (SMT sharing, oversubscription, saturated bandwidth), with compute
+    and memory fully serialized.  Anything outside this envelope dropped
+    or invented work.
+
+    When the bytes carry mixed access localities, ``locality`` must be
+    the *best* (highest) one present — it bounds bandwidth from above for
+    the lower edge — and ``locality_min`` the worst, for the upper edge.
+    """
+    machine = ctx.machine
+    lower = work
+    upper = 0.0
+    # candidate active-thread counts: bandwidth share is not monotone
+    # (socket spanning adds aggregate bandwidth), so scan the range.
+    scan = min(p_eff, 4 * machine.hw_threads)
+    candidates = set(range(1, scan + 1))
+    candidates.add(p_eff)
+    min_speed = min(machine.compute_speed(a) for a in candidates)
+    upper = work / min_speed
+    if membytes > 0:
+        bw_best = machine.bandwidth_per_thread(1, locality)
+        lower = max(lower, membytes / bw_best)
+        loc_lo = locality if locality_min is None else locality_min
+        bw_worst = min(machine.bandwidth_per_thread(a, loc_lo) for a in candidates)
+        upper += membytes / bw_worst
+    return lower, upper
+
+
+# ---------------------------------------------------------------------------
+# Region / result checks
+# ---------------------------------------------------------------------------
+def check_region(
+    region: RegionResult,
+    *,
+    ctx: Optional[ExecContext] = None,
+    report: Optional[ValidationReport] = None,
+    where: str = "region",
+) -> ValidationReport:
+    """Audit one :class:`~repro.sim.trace.RegionResult`.
+
+    Structural checks always run; work conservation and throughput caps
+    additionally need ``ctx`` (for the machine model) and the
+    ``expected_work``/``expected_bytes`` meta the executors record;
+    interval / lock / event audits run whenever the region carries the
+    corresponding logs (``meta["intervals"]``, ``meta["lock_audit"]``,
+    ``meta["event_times"]``).
+    """
+    rep = report if report is not None else ValidationReport()
+    meta = region.meta or {}
+    time = region.time
+    aggregate = bool(meta.get("aggregate_workers"))
+    p_eff = max(region.nthreads, len(region.workers), 1)
+
+    rep.check(time >= -_ATOL, "region-time-nonnegative", where, f"time {time} < 0")
+    rep.check(region.nthreads >= 1, "region-nthreads-positive", where,
+              f"nthreads {region.nthreads}")
+
+    total_busy = 0.0
+    max_busy = 0.0
+    for i, w in enumerate(region.workers):
+        wtag = f"{where} worker[{i}]"
+        rep.check(w.busy >= -_ATOL and w.overhead >= -_ATOL,
+                  "worker-stats-nonnegative", wtag,
+                  f"busy={w.busy} overhead={w.overhead}")
+        rep.check(w.tasks >= 0 and w.steals >= 0 and w.failed_steals >= 0,
+                  "worker-counts-nonnegative", wtag,
+                  f"tasks={w.tasks} steals={w.steals} failed={w.failed_steals}")
+        if not aggregate:
+            rep.check(
+                w.busy + w.overhead <= time + _tol(time),
+                "worker-wallclock",
+                wtag,
+                f"busy+overhead {w.busy + w.overhead:.9g} exceeds region time {time:.9g}",
+            )
+        total_busy += w.busy
+        max_busy = max(max_busy, w.busy)
+
+    # Aggregate throughput: the whole machine cannot deliver more busy
+    # seconds than (workers) x (wall clock).
+    if aggregate and ctx is not None:
+        cap = max(float(p_eff), ctx.machine.physical_cores * ctx.machine.smt_throughput)
+    else:
+        cap = float(p_eff)
+    rep.check(
+        total_busy <= time * cap + _tol(time * cap),
+        "aggregate-throughput",
+        where,
+        f"busy {total_busy:.9g} > {cap:.0f} workers x time {time:.9g}",
+    )
+    if region.workers and not aggregate:
+        rep.check(time >= max_busy - _tol(max_busy), "makespan-worker", where,
+                  f"time {time:.9g} below busiest worker {max_busy:.9g}")
+
+    cp = meta.get("critical_path")
+    if cp is not None:
+        rep.check(time >= cp - _tol(cp), "makespan-critical-path", where,
+                  f"time {time:.9g} below critical path {cp:.9g}")
+
+    expected = meta.get("expected_work")
+    if expected is not None and ctx is not None:
+        membytes = float(meta.get("expected_bytes", 0.0))
+        locality = float(meta.get("expected_locality", 1.0))
+        loc_min = meta.get("expected_locality_min")
+        lower, upper = busy_envelope(
+            expected, membytes, locality, p_eff, ctx,
+            locality_min=None if loc_min is None else float(loc_min),
+        )
+        if aggregate:
+            # aggregate stats record raw work seconds (the coarse
+            # thread-per-task model), so only pure work bounds it below
+            lower = min(lower, expected)
+        rep.check(
+            total_busy >= lower - _tol(lower),
+            "work-conservation-lower",
+            where,
+            f"busy {total_busy:.9g} below minimum {lower:.9g} "
+            f"(work {expected:.9g}, bytes {membytes:.9g}) — work was dropped",
+        )
+        rep.check(
+            total_busy <= upper + _tol(upper),
+            "work-conservation-upper",
+            where,
+            f"busy {total_busy:.9g} above maximum {upper:.9g} "
+            f"(work {expected:.9g}, bytes {membytes:.9g}) — work was invented",
+        )
+
+    intervals = meta.get("intervals")
+    if intervals is not None:
+        check_intervals(intervals, p_eff, horizon=time, report=rep, where=where)
+        # Cross-check: recorded intervals must account for exactly the
+        # busy seconds in the worker stats.
+        if not aggregate:
+            sums = [0.0] * len(region.workers)
+            for w, s, e, _tag in intervals:
+                if 0 <= w < len(sums):
+                    sums[w] += e - s
+            for i, (w, got) in enumerate(zip(region.workers, sums)):
+                rep.check(
+                    abs(w.busy - got) <= _tol(w.busy),
+                    "interval-busy-mismatch",
+                    f"{where} worker[{i}]",
+                    f"stats busy {w.busy:.9g} != recorded intervals {got:.9g}",
+                )
+
+    for name, log in meta.get("lock_audit", ()):
+        check_lock_log(log, report=rep, where=f"{where} {name}")
+    events = meta.get("event_times")
+    if events is not None:
+        check_event_times(events, report=rep, where=where)
+    return rep
+
+
+def check_result(
+    result: SimResult,
+    *,
+    ctx: Optional[ExecContext] = None,
+    report: Optional[ValidationReport] = None,
+    where: Optional[str] = None,
+) -> ValidationReport:
+    """Audit a full :class:`~repro.sim.trace.SimResult`.
+
+    Runs :func:`check_region` on every region and checks program-level
+    consistency: non-negative total time that covers the sum of region
+    times (program-level costs like pool setup may only add).
+    """
+    rep = report if report is not None else ValidationReport()
+    tag = where or f"{result.program}/{result.version} p={result.nthreads}"
+    rep.check(result.time >= -_ATOL, "program-time-nonnegative", tag,
+              f"time {result.time}")
+    rep.check(result.nthreads >= 1, "program-nthreads-positive", tag,
+              f"nthreads {result.nthreads}")
+    region_sum = sum(r.time for r in result.regions)
+    rep.check(
+        result.time >= region_sum - _tol(region_sum),
+        "program-time-covers-regions",
+        tag,
+        f"program time {result.time:.9g} below region sum {region_sum:.9g}",
+    )
+    for i, region in enumerate(result.regions):
+        check_region(region, ctx=ctx, report=rep, where=f"{tag} region[{i}]")
+    return rep

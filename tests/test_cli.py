@@ -40,9 +40,14 @@ class TestCommands:
     def test_figure_chart(self, capsys):
         assert main(["figure", "matmul", "--threads", "1", "2"]) == 0
 
-    def test_figure_unknown_workload(self):
-        with pytest.raises(KeyError):
-            main(["figure", "nbody"])
+    def test_figure_unknown_workload_exits_2(self, capsys):
+        assert main(["figure", "nbody"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "nbody" in err
+
+    def test_compare_unknown_model_exits_2(self, capsys):
+        assert main(["compare", "openmp", "no-such-model"]) == 2
+        assert "no-such-model" in capsys.readouterr().err
 
     def test_compare(self, capsys):
         assert main(["compare", "openmp", "cilk", "tbb"]) == 0
@@ -58,3 +63,18 @@ class TestCommands:
         assert main(["offload", "--n", "1000000", "--iterations", "2"]) == 0
         out = capsys.readouterr().out
         assert "host" in out
+
+
+class TestValidateCommand:
+    def test_validate_args(self):
+        args = build_parser().parse_args(["validate", "--deep", "--seed", "7"])
+        assert args.deep is True and args.seed == 7 and args.programs is None
+
+    def test_validate_runs_clean(self, capsys):
+        assert main(["validate", "--programs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out and "invariant checks passed" in out
+
+    def test_validate_custom_seed(self, capsys):
+        assert main(["validate", "--programs", "1", "--seed", "123"]) == 0
+        assert "OK:" in capsys.readouterr().out

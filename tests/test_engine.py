@@ -80,6 +80,69 @@ class TestEngine:
         eng = Engine()
         assert eng.run() == 0.0
 
+    def test_direct_at_in_past_after_clock_advanced(self):
+        eng = Engine()
+        eng.at(5.0, lambda: None)
+        eng.run()
+        assert eng.now == 5.0
+        with pytest.raises(ValueError, match="before now"):
+            eng.at(4.999, lambda: None)
+        eng.at(5.0, lambda: None)  # exactly now is fine
+
+    def test_negative_absolute_time_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().at(-0.001, lambda: None)
+
+    def test_negative_delay_after_advance_rejected(self):
+        eng = Engine()
+        eng.at(3.0, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.after(-1.0, lambda: None)
+        eng.after(0.0, lambda: None)  # zero delay is fine
+
+    def test_tie_breaker_is_deterministic_across_runs(self):
+        def run_once():
+            eng = Engine()
+            seen = []
+            # interleave equal-time events from top level and callbacks
+            for i in range(5):
+                eng.at(1.0, lambda i=i: seen.append(("top", i)))
+            eng.at(0.5, lambda: [eng.at(1.0, lambda j=j: seen.append(("cb", j)))
+                                 for j in range(5)])
+            eng.run()
+            return seen
+
+        first = run_once()
+        assert first == run_once()
+        # insertion order within the tie: top-level events were queued first
+        assert first[:5] == [("top", i) for i in range(5)]
+        assert first[5:] == [("cb", j) for j in range(5)]
+
+
+class TestEngineAudit:
+    def test_audit_off_by_default(self):
+        eng = Engine()
+        eng.at(1.0, lambda: None)
+        eng.run()
+        assert eng.audit is None
+
+    def test_audit_records_time_and_seq(self):
+        eng = Engine()
+        log = eng.enable_audit()
+        eng.at(2.0, lambda: None)
+        eng.at(1.0, lambda: None)
+        eng.at(1.0, lambda: None)
+        eng.run()
+        assert log == [(1.0, 2), (1.0, 3), (2.0, 1)]
+        times = [t for t, _ in log]
+        assert times == sorted(times)
+
+    def test_enable_audit_is_idempotent(self):
+        eng = Engine()
+        log = eng.enable_audit()
+        assert eng.enable_audit() is log
+
 
 class TestSimLock:
     def test_uncontended_grant_is_immediate(self):
@@ -122,3 +185,16 @@ class TestSimLock:
 
     def test_fresh_lock_uncontended_fraction_zero(self):
         assert SimLock().contended_fraction == 0.0
+
+    def test_audit_log_off_by_default(self):
+        lock = SimLock()
+        lock.acquire(0.0, 1.0)
+        assert lock.log is None
+
+    def test_audit_log_records_request_grant_hold(self):
+        lock = SimLock(audit=True)
+        lock.acquire(0.0, 2.0)
+        lock.acquire(1.0, 0.5)  # contended: granted at 2.0
+        assert lock.log == [(0.0, 0.0, 2.0), (1.0, 2.0, 0.5)]
+        for req, grant, hold in lock.log:
+            assert grant >= req and hold >= 0.0

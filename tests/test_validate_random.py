@@ -1,0 +1,112 @@
+"""Randomized (seeded, dependency-free) property tests for the deque
+protocols and the work-stealing scheduler, checked against a reference
+model and the trace invariant checker."""
+
+import random
+from collections import deque as pydeque
+
+import pytest
+
+from repro.runtime.base import ExecContext
+from repro.runtime.workstealing import run_stealing_graph, run_stealing_loop
+from repro.sim.costs import CostModel
+from repro.sim.deque import make_deque
+from repro.validate.invariants import check_lock_log, check_region
+from repro.validate.properties import random_graph, random_space
+
+COSTS = CostModel()
+CTX = ExecContext()
+
+
+@pytest.mark.parametrize("kind", ["the", "locked"])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+class TestDequeAgainstReferenceModel:
+    """Drive a deque with a random op sequence and mirror it with a plain
+    ``collections.deque``: owner ops at the tail, steals at the head."""
+
+    def test_matches_reference_and_audits_clean(self, kind, seed):
+        rng = random.Random(1000 * seed + (kind == "locked"))
+        dq = make_deque(kind, owner=0, costs=COSTS, audit=True)
+        ref: pydeque[int] = pydeque()
+        t = 0.0
+        next_tid = 0
+        for _ in range(400):
+            t += rng.random() * 1e-7
+            op = rng.choice(["push", "push", "pop", "steal"])
+            if op == "push":
+                t2 = dq.push(t, next_tid)
+                ref.append(next_tid)
+                next_tid += 1
+            elif op == "pop":
+                tid, t2 = dq.pop(t)
+                expect = ref.pop() if ref else None
+                assert tid == expect
+            else:
+                tid, t2 = dq.steal(t)
+                expect = ref.popleft() if ref else None
+                assert tid == expect
+            assert t2 >= t  # operations never finish before they start
+            t = t2
+            assert list(dq.items) == list(ref)
+
+        assert dq.pushes == next_tid
+        assert dq.pops + dq.steals == next_tid - len(ref)
+        # audit log invariants: causality + mutual exclusion of holds
+        rep = check_lock_log(dq.lock.log, where=f"{kind} seed={seed}")
+        assert rep.ok, rep.describe()
+        if kind == "locked":
+            assert len(dq.lock.log) == dq.pushes + dq.pops + dq.steals
+        else:
+            assert len(dq.lock.log) == dq.steals  # owner ops are lock-free
+
+
+class TestRandomizedScheduler:
+    """Random DAGs / loops through the stealing scheduler, audited."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graph_runs_are_invariant_clean(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(rng, max_tasks=80)
+        deque_kind = rng.choice(["the", "locked"])
+        p = rng.choice([1, 2, 3, 5, 8])
+        res = run_stealing_graph(
+            graph,
+            p,
+            CTX,
+            deque=deque_kind,
+            work_first=rng.random() < 0.5,
+            record=True,
+            audit=True,
+        )
+        rep = check_region(res, ctx=CTX, where=f"rand-graph seed={seed}")
+        assert rep.ok, rep.describe()
+        tasks_run = sum(w.tasks for w in res.workers)
+        assert tasks_run == len(graph)  # every task exactly once
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_loop_runs_are_invariant_clean(self, seed):
+        rng = random.Random(100 + seed)
+        space = random_space(rng)
+        res = run_stealing_loop(
+            space,
+            rng.choice([1, 2, 4, 7]),
+            CTX,
+            style=rng.choice(["cilk_for", "flat"]),
+            deque=rng.choice(["the", "locked"]),
+            record=True,
+            audit=True,
+        )
+        rep = check_region(res, ctx=CTX, where=f"rand-loop seed={seed}")
+        assert rep.ok, rep.describe()
+
+    def test_central_queue_is_audited_too(self):
+        rng = random.Random(77)
+        graph = random_graph(rng, max_tasks=50)
+        res = run_stealing_graph(
+            graph, 4, CTX, deque="locked", central_queue=True, record=True, audit=True
+        )
+        rep = check_region(res, ctx=CTX, where="central-queue")
+        assert rep.ok, rep.describe()
+        # all deque traffic went through worker 0's lock
+        logs = dict(res.meta["lock_audit"])
+        assert list(logs) == ["locked[0]"]
