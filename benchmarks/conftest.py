@@ -17,6 +17,7 @@ preserved).  Pass paper scale by editing the PARAMS dicts.
 from __future__ import annotations
 
 import pathlib
+import re
 
 import pytest
 
@@ -24,6 +25,12 @@ from repro.core.experiment import PAPER_THREADS
 from repro.runtime.base import ExecContext
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+METRICS_DIR = OUT_DIR / "metrics"
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe name for a (program, version, threads) result."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", text).strip("-") or "run"
 
 #: thread counts of the paper's plots
 THREADS = PAPER_THREADS
@@ -36,19 +43,26 @@ def ctx() -> ExecContext:
 
 @pytest.fixture(autouse=True)
 def _validate_every_result(monkeypatch):
-    """Run the cheap trace-invariant audit on every simulated result.
+    """Audit every simulated result and dump its metrics JSON.
 
     ``run_experiment`` resolves ``run_program`` through its own module
     namespace, so patching it there covers every figure sweep.  A
     violated invariant (overlapping intervals, dropped work, impossible
     makespan) fails the benchmark instead of silently producing a
-    plausible-looking table.
+    plausible-looking table.  Each result's counters/gauges/attribution
+    land under ``benchmarks/out/metrics/`` as one JSON file per
+    (program, version, threads) cell, so a regression in e.g. steal
+    counts is diffable across runs.
     """
     import repro.core.experiment as experiment
+    from repro.obs.export import write_metrics
     from repro.runtime.run import run_program
 
     def checked(program, nthreads, ctx_, version="", validate=True):
-        return run_program(program, nthreads, ctx_, version, validate=True)
+        res = run_program(program, nthreads, ctx_, version, validate=True)
+        name = _slug(f"{res.program}_{res.version}_p{res.nthreads}")
+        write_metrics(METRICS_DIR / f"{name}.json", res)
+        return res
 
     monkeypatch.setattr(experiment, "run_program", checked)
 

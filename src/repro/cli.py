@@ -12,7 +12,10 @@ Commands mirror the paper's artifacts:
 - ``machine``      — describe the simulated testbed;
 - ``report``       — regenerate every table/figure/claim into a directory;
 - ``validate``     — audit the simulator itself (trace invariants,
-  differential runtime oracle, random-program property suite).
+  differential runtime oracle, random-program property suite);
+- ``trace``        — run one workload/version with the observability
+  layer on: bottleneck attribution on stdout, Chrome ``trace_event``
+  JSON (Perfetto-loadable) and per-run metrics JSON on request.
 
 Exit codes: 0 success, 1 failed checks (claims/validate), 2 bad input
 (unknown workload or model name).
@@ -44,6 +47,22 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--threads", type=int, nargs="+", default=None)
     fig.add_argument("--full", action="store_true", help="paper-scale parameters")
     fig.add_argument("--chart", action="store_true", help="include the ASCII chart")
+    fig.add_argument("--out", default=None,
+                     help="also write the report to this file (directories created)")
+
+    tr = sub.add_parser(
+        "trace", help="trace one run: attribution report + Chrome trace JSON"
+    )
+    tr.add_argument("workload", help="workload name (axpy, sum, ..., srad)")
+    tr.add_argument("--model", "-m", required=True,
+                    help="version name or prefix (omp_task, cilk, cxx_thread, ...)")
+    tr.add_argument("--threads", "-p", type=int, default=16)
+    tr.add_argument("--out", default=None,
+                    help="Chrome trace_event JSON path (open in ui.perfetto.dev)")
+    tr.add_argument("--metrics-out", default=None,
+                    help="per-run metrics/attribution JSON path")
+    tr.add_argument("--gantt", action="store_true", help="print the ASCII timeline")
+    tr.add_argument("--full", action="store_true", help="paper-scale parameters")
 
     cmp_p = sub.add_parser("compare", help="feature comparison of models")
     cmp_p.add_argument("models", nargs="+", help="model names (e.g. openmp cilk tbb)")
@@ -132,7 +151,50 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.threads:
         kwargs["threads"] = tuple(args.threads)
     sweep = run_experiment(args.workload, **kwargs, **params)
-    print(render_sweep(sweep, chart=args.chart))
+    text = render_sweep(sweep, chart=args.chart)
+    print(text)
+    if args.out:
+        import pathlib
+
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.registry import get_workload
+    from repro.obs.export import render_timeline, write_chrome_trace, write_metrics
+    from repro.obs.report import attribute_result
+    from repro.runtime.base import ExecContext, ThreadExplosionError
+    from repro.runtime.run import run_program
+
+    spec = get_workload(args.workload)
+    version = spec.resolve_version(args.model)
+    params = dict(spec.paper_params if args.full else spec.default_params)
+    ctx = ExecContext()
+    try:
+        program = spec.build(version, ctx.machine, **params)
+        res = run_program(program, args.threads, ctx, version, trace=True)
+    except ThreadExplosionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    tracer = res.trace
+    print(res.describe())
+    print(tracer.describe())
+    print()
+    print(attribute_result(res, ctx=ctx, program=args.workload, version=version).describe())
+    if args.gantt:
+        print()
+        print(render_timeline(tracer, nworkers=max(res.nthreads, tracer.nworkers)))
+    meta = {"program": args.workload, "version": version, "nthreads": args.threads}
+    if args.out:
+        out = write_chrome_trace(args.out, tracer, metadata=meta)
+        print(f"wrote Chrome trace to {out} (open in https://ui.perfetto.dev)")
+    if args.metrics_out:
+        out = write_metrics(args.metrics_out, res, tracer=tracer)
+        print(f"wrote metrics to {out}")
     return 0
 
 
@@ -200,6 +262,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_claims()
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "microbench":

@@ -36,6 +36,24 @@ class WorkloadSpec:
     to invariant-check every workload x version in seconds, not minutes.
     Empty means: validate at ``default_params``."""
 
+    def resolve_version(self, model: str) -> str:
+        """Resolve a version name, accepting prefixes of the canonical names.
+
+        ``cilk`` resolves to ``cilk_spawn`` for fib (task-only versions)
+        and to ``cilk_for`` for the loop workloads — the first prefix
+        match in canonical figure order wins.  Unknown names raise
+        ``ValueError`` (exit code 2 at the CLI).
+        """
+        if model in self.versions:
+            return model
+        matches = [v for v in self.versions if v.startswith(model)]
+        if matches:
+            return matches[0]
+        raise ValueError(
+            f"{self.name} has no version matching {model!r}; "
+            f"available: {list(self.versions)}"
+        )
+
     def build(self, version: str, machine: Machine, **overrides: Any) -> Program:
         """Build this workload's program for ``version``.
 

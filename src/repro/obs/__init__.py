@@ -1,0 +1,58 @@
+"""Simulator observability: structured tracing, metrics, attribution.
+
+Three layers, all optional and zero-cost when unused:
+
+- :mod:`repro.obs.tracer` — the single instrumentation API every
+  runtime component (engine, locks, deques, executors) emits into:
+  per-worker span timelines, engine event log, lock grant log;
+- :mod:`repro.obs.metrics` — a counters/gauges/histograms registry
+  derivable from any :class:`~repro.sim.trace.RegionResult` /
+  :class:`~repro.sim.trace.SimResult`;
+- :mod:`repro.obs.export` + :mod:`repro.obs.report` — Chrome
+  ``trace_event`` JSON (Perfetto / ``chrome://tracing``), textual Gantt
+  timelines, per-run metrics dumps, and the ranked bottleneck
+  attribution report in the paper's vocabulary.
+
+Entry points: ``run_program(..., trace=Tracer())`` or the CLI
+``python -m repro trace <workload> --model <m> --threads <p>``.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_payload,
+    render_timeline,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    region_metrics,
+    result_metrics,
+)
+from repro.obs.report import AttributionEntry, AttributionReport, attribute_result
+from repro.obs.tracer import EXEC_KINDS, OVERHEAD_KINDS, InstantEvent, SpanEvent, Tracer
+
+__all__ = [
+    "AttributionEntry",
+    "AttributionReport",
+    "Counter",
+    "EXEC_KINDS",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
+    "MetricsRegistry",
+    "OVERHEAD_KINDS",
+    "SpanEvent",
+    "Tracer",
+    "attribute_result",
+    "chrome_trace",
+    "metrics_payload",
+    "region_metrics",
+    "render_timeline",
+    "result_metrics",
+    "write_chrome_trace",
+    "write_metrics",
+]

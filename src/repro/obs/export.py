@@ -1,0 +1,225 @@
+"""Trace and metrics exporters.
+
+Three output formats:
+
+- :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON object format (loadable in Perfetto or
+  ``chrome://tracing``): one ``pid`` for the simulated machine, one
+  ``tid`` per worker, complete ("X") events for spans, instant ("i")
+  events, and extra tracks for every :class:`~repro.sim.engine.SimLock`
+  showing grant windows and queue waits;
+- :func:`render_timeline` — a textual Gantt chart
+  (:func:`repro.sim.trace.render_gantt` over the trace's spans) for
+  terminals and docs;
+- :func:`metrics_payload` / :func:`write_metrics` — a per-run JSON
+  metrics dump: the :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot plus the ranked bottleneck attribution.
+
+All writers create missing parent directories.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Optional, Union
+
+from repro.obs.metrics import result_metrics
+from repro.obs.report import attribute_result
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_timeline",
+    "metrics_payload",
+    "write_metrics",
+]
+
+#: tid offset for per-lock tracks so they sort after worker rows.
+_LOCK_TID_BASE = 1_000_000
+
+_SECONDS_TO_US = 1e6
+
+
+def chrome_trace(
+    tracer: Tracer,
+    *,
+    process_name: str = "repro-sim",
+    metadata: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """Render a tracer into a Chrome ``trace_event`` JSON object.
+
+    Timestamps are microseconds of simulated time.  Span kinds become
+    categories (``cat``), so Perfetto can filter e.g. only steals.
+    """
+    events: list[dict[str, Any]] = []
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    )
+    for w in range(tracer.nworkers):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": w,
+                "args": {"name": f"worker {w}"},
+            }
+        )
+    for s in tracer.spans:
+        events.append(
+            {
+                "name": s.name or s.kind,
+                "cat": s.kind,
+                "ph": "X",
+                "pid": 0,
+                "tid": s.worker,
+                "ts": s.start * _SECONDS_TO_US,
+                "dur": (s.end - s.start) * _SECONDS_TO_US,
+                "args": {"region": s.region},
+            }
+        )
+    for i in tracer.instants:
+        events.append(
+            {
+                "name": i.name,
+                "cat": "instant",
+                "ph": "i",
+                "s": "t",
+                "pid": 0,
+                "tid": i.worker,
+                "ts": i.time * _SECONDS_TO_US,
+                "args": {"region": i.region},
+            }
+        )
+    for idx, (lock_name, grants) in enumerate(sorted(tracer.lock_events.items())):
+        tid = _LOCK_TID_BASE + idx
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": f"lock {lock_name}"},
+            }
+        )
+        for request, grant, hold in grants:
+            if grant > request:
+                events.append(
+                    {
+                        "name": "wait",
+                        "cat": "lock_wait",
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": tid,
+                        "ts": request * _SECONDS_TO_US,
+                        "dur": (grant - request) * _SECONDS_TO_US,
+                    }
+                )
+            events.append(
+                {
+                    "name": "hold",
+                    "cat": "lock_hold",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": grant * _SECONDS_TO_US,
+                    "dur": hold * _SECONDS_TO_US,
+                }
+            )
+    doc: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "regions": list(tracer.region_names),
+            "workers": tracer.nworkers,
+            "horizon_us": tracer.horizon * _SECONDS_TO_US,
+        },
+    }
+    if metadata:
+        doc["otherData"].update(metadata)
+    return doc
+
+
+def write_chrome_trace(
+    path: Union[str, pathlib.Path],
+    tracer: Tracer,
+    *,
+    metadata: Optional[dict[str, Any]] = None,
+) -> pathlib.Path:
+    """Write the Chrome trace JSON, creating missing directories."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(chrome_trace(tracer, metadata=metadata)) + "\n")
+    return out
+
+
+def render_timeline(
+    tracer: Tracer,
+    *,
+    nworkers: Optional[int] = None,
+    width: int = 78,
+    kinds: Optional[frozenset] = None,
+) -> str:
+    """Textual Gantt chart of the trace's execution spans.
+
+    Busy time is drawn with the first letter of each span's name/kind,
+    idle with ``.`` — the same renderer the scheduler examples use.
+    """
+    from repro.sim.trace import render_gantt
+
+    intervals = tracer.intervals(kinds)
+    n = nworkers if nworkers is not None else max(tracer.nworkers, 1)
+    return render_gantt(intervals, n, width=width, end=tracer.horizon)
+
+
+def metrics_payload(
+    result: Any,
+    *,
+    tracer: Optional[Tracer] = None,
+    extra: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """JSON-ready metrics + attribution summary of one program run."""
+    attribution = attribute_result(result)
+    payload: dict[str, Any] = {
+        "program": getattr(result, "program", ""),
+        "version": getattr(result, "version", ""),
+        "nthreads": result.nthreads,
+        "time_seconds": result.time,
+        "metrics": result_metrics(result).to_dict(),
+        "attribution": [
+            {"category": e.category, "seconds": e.seconds, "share": e.share}
+            for e in attribution.entries
+        ],
+    }
+    if tracer is not None:
+        payload["trace"] = {
+            "spans": len(tracer.spans),
+            "workers": tracer.nworkers,
+            "engine_events": len(tracer.engine_events),
+            "lock_grants": sum(len(v) for v in tracer.lock_events.values()),
+        }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_metrics(
+    path: Union[str, pathlib.Path],
+    result: Any,
+    *,
+    tracer: Optional[Tracer] = None,
+    extra: Optional[dict[str, Any]] = None,
+) -> pathlib.Path:
+    """Write the per-run metrics JSON, creating missing directories."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(metrics_payload(result, tracer=tracer, extra=extra), indent=1) + "\n")
+    return out

@@ -38,6 +38,7 @@ def run_offload_loop(
     from_bytes: float = 0.0,
     resident: bool = False,
     async_overlap: bool = False,
+    tracer=None,
 ) -> RegionResult:
     """Offload one data-parallel loop to ``device`` and time it.
 
@@ -45,6 +46,11 @@ def run_offload_loop(
     host-side issue path is single-threaded (the paper: "whether it
     allows each of the CPU threads to launch an offloading request" is
     a runtime-complexity dimension — this model issues from one).
+
+    ``tracer`` draws the offload pipeline on two rows: worker 0 is the
+    host link (``transfer`` spans for h2d/d2h) and worker 1 the device
+    (``kernel`` span) — visually sync serializes the three stages while
+    async overlaps the kernel with the copies.
     """
     dev = device if device is not None else K40
     kernel = dev.kernel_time(space)
@@ -56,9 +62,20 @@ def run_offload_loop(
     if async_overlap:
         # staged pipeline: the long pole hides the shorter stages except
         # for one link latency to fill the pipe
-        total = max(kernel, h2d + d2h) + (0.0 if resident else dev.link_latency)
+        lat = 0.0 if resident else dev.link_latency
+        total = max(kernel, h2d + d2h) + lat
+        kernel_start = lat
     else:
         total = h2d + kernel + d2h
+        kernel_start = h2d
+    if tracer is not None:
+        if h2d > 0:
+            tracer.span(0, 0.0, h2d, "transfer", "h2d")
+        if d2h > 0:
+            d2h_start = h2d if async_overlap else h2d + kernel
+            tracer.span(0, d2h_start, d2h_start + d2h, "transfer", "d2h")
+        if kernel > 0:
+            tracer.span(1, kernel_start, kernel_start + kernel, "kernel", space.name)
     w = WorkerStats(busy=kernel, overhead=total - kernel, tasks=1)
     return RegionResult(
         time=total,

@@ -54,8 +54,16 @@ def execute_region(
     region: Union[SerialRegion, LoopRegion, TaskRegion],
     nthreads: int,
     ctx: ExecContext,
+    tracer=None,
 ) -> RegionResult:
-    """Execute one region at ``nthreads`` and return its result."""
+    """Execute one region at ``nthreads`` and return its result.
+
+    ``tracer`` (a :class:`~repro.obs.tracer.Tracer`) is forwarded to
+    every executor; each emits its spans at region-local times shifted
+    by the tracer's current ``offset``, so a tracer whose offset is
+    advanced between regions (see :func:`run_program`) accumulates one
+    program-absolute timeline.
+    """
     if isinstance(region, SerialRegion):
         dur = ctx.duration(region.work, region.membytes, region.locality, 1)
         w = WorkerStats(busy=dur, tasks=1)
@@ -65,13 +73,15 @@ def execute_region(
             "expected_bytes": region.membytes,
             "expected_locality": region.locality,
         }
+        if tracer is not None and dur > 0:
+            tracer.span(0, 0.0, dur, "serial", region.name)
         return RegionResult(time=dur, nthreads=1, workers=[w], meta=meta)
 
     if isinstance(region, LoopRegion):
         params = dict(region.params)
         executor = region.executor
         if executor == "worksharing":
-            return run_worksharing_loop(region.space, nthreads, ctx, **params)
+            return run_worksharing_loop(region.space, nthreads, ctx, tracer=tracer, **params)
         if executor == "stealing_loop":
             entry = _entry_cost(params.pop("entry", "none"), nthreads, ctx)
             exit_marker = params.pop("exit", None)
@@ -79,14 +89,15 @@ def execute_region(
                 _exit_cost(exit_marker, nthreads, ctx) if exit_marker is not None else None
             )
             return run_stealing_loop(
-                region.space, nthreads, ctx, entry_cost=entry, exit_cost=exit_c, **params
+                region.space, nthreads, ctx, entry_cost=entry, exit_cost=exit_c,
+                tracer=tracer, **params
             )
         if executor == "threadpool":
-            return run_threadpool_loop(region.space, nthreads, ctx, **params)
+            return run_threadpool_loop(region.space, nthreads, ctx, tracer=tracer, **params)
         if executor == "offload":
             from repro.runtime.offload import run_offload_loop
 
-            return run_offload_loop(region.space, nthreads, ctx, **params)
+            return run_offload_loop(region.space, nthreads, ctx, tracer=tracer, **params)
         raise ValueError(f"unknown loop executor {executor!r}")
 
     if isinstance(region, TaskRegion):
@@ -97,10 +108,11 @@ def execute_region(
             entry = _entry_cost(params.pop("entry", "none"), nthreads, ctx)
             exit_c = _exit_cost(params.pop("exit", "none"), nthreads, ctx)
             return run_stealing_graph(
-                graph, nthreads, ctx, entry_cost=entry, exit_cost=exit_c, **params
+                graph, nthreads, ctx, entry_cost=entry, exit_cost=exit_c,
+                tracer=tracer, **params
             )
         if executor == "threadpool_graph":
-            return run_threadpool_graph(graph, nthreads, ctx, **params)
+            return run_threadpool_graph(graph, nthreads, ctx, tracer=tracer, **params)
         raise ValueError(f"unknown task executor {executor!r}")
 
     raise TypeError(f"unknown region type {type(region).__name__}")
@@ -112,6 +124,7 @@ def run_program(
     ctx: ExecContext,
     version: str = "",
     validate: bool = False,
+    trace=None,
 ) -> SimResult:
     """Execute all regions of ``program`` in order at ``nthreads``.
 
@@ -120,16 +133,32 @@ def run_program(
     :class:`~repro.validate.invariants.SimulationInvariantError` if any
     invariant is violated (interval overlap, work non-conservation,
     makespan below its lower bounds, ...).
+
+    ``trace`` enables the observability layer: pass a
+    :class:`~repro.obs.tracer.Tracer` (or ``True`` to have one created)
+    and every region's executor emits per-worker spans onto one
+    program-absolute timeline; the tracer is attached to the returned
+    :class:`SimResult` as ``result.trace``.  With ``trace=None`` (the
+    default) no per-event state exists anywhere — the executors see
+    ``tracer=None`` and skip every emission with a single branch.
     """
     if nthreads <= 0:
         raise ValueError("nthreads must be positive")
+    tracer = trace
+    if tracer is True:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
     regions = []
     total = 0.0
     if program.meta.get("pool_setup"):
         # one-time hand-rolled C++ thread-pool creation/teardown
         total += nthreads * (ctx.costs.thread_create + ctx.costs.thread_join)
     for region in program:
-        res = execute_region(region, nthreads, ctx)
+        if tracer is not None:
+            # region-local span times become program-absolute
+            tracer.begin_region(region.name, offset=total)
+        res = execute_region(region, nthreads, ctx, tracer=tracer)
         regions.append(res)
         total += res.time
     result = SimResult(
@@ -138,10 +167,15 @@ def run_program(
         nthreads=nthreads,
         time=total,
         regions=regions,
+        trace=tracer,
     )
     if validate:
         # imported lazily: repro.validate depends on the runtime layer
         from repro.validate.invariants import check_result
 
         check_result(result, ctx=ctx).raise_if_failed()
+        if tracer is not None:
+            from repro.validate.invariants import check_trace
+
+            check_trace(tracer, horizon=total).raise_if_failed()
     return result

@@ -40,6 +40,7 @@ def run_threadpool_loop(
     work_scale: float = 1.0,
     reduction: bool = False,
     persistent: bool = False,
+    tracer=None,
 ) -> RegionResult:
     """Execute a manually-chunked loop on bare threads.
 
@@ -48,7 +49,9 @@ def run_threadpool_loop(
     (slightly cheaper creation, same structure).  ``nchunks`` defaults
     to one chunk per thread (the paper's BASE cut-off).  ``reduction``
     charges the master one combine per chunk after the joins (the
-    manual thread-private-partials pattern).
+    manual thread-private-partials pattern).  ``tracer`` emits one
+    chunk span per created thread (staircase starts: creation is
+    serial in the master).
 
     ``persistent=True`` models the hand-rolled thread pool a C++
     programmer writes for *iterative* applications: threads are created
@@ -97,6 +100,8 @@ def run_threadpool_loop(
         workers[i].busy = float(durations[i])
         workers[i].overhead = create + finalize
         workers[i].tasks = 1
+        if tracer is not None:
+            tracer.span(i, float(starts[i]), float(finishes[i]), "chunk", space.name)
     if reduction:
         t_join += n * costs.atomic_op
     if persistent:
@@ -120,6 +125,7 @@ def run_threadpool_graph(
     ctx: ExecContext,
     *,
     mode: str = "async",
+    tracer=None,
 ) -> RegionResult:
     """Execute a task DAG where every task is its own thread.
 
@@ -163,6 +169,10 @@ def run_threadpool_graph(
         dur = ctx.memory.duration(t.work, t.membytes, t.locality, active) \
             if speed else t.work
         finish[t.tid] = start + dur + finalize
+        if tracer is not None:
+            # one trace row per software thread (tid); the model has no
+            # hardware-context placement, so the row IS the thread
+            tracer.span(t.tid, start, start + dur, "task", t.tag or f"t{t.tid}")
     cp = max(finish)
     throughput_bound = graph.total_work() / (machine.compute_speed(active) * active) \
         + ntasks * (create + finalize) / max(1, nthreads)

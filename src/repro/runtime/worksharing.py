@@ -71,6 +71,7 @@ def run_worksharing_loop(
     fork: bool = True,
     barrier: bool = True,
     work_scale: float = 1.0,
+    tracer=None,
 ) -> RegionResult:
     """Execute one worksharing loop region and return its timing.
 
@@ -90,12 +91,17 @@ def run_worksharing_loop(
         model fuses several loops inside one parallel region (``nowait``).
     work_scale:
         Multiplier on compute work (models codegen differences).
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`: emits per-chunk
+        execution spans, loop-counter lock waits (dynamic/guided) and
+        end-barrier waiting spans on each worker's timeline.
     """
     if nthreads <= 0:
         raise ValueError("nthreads must be positive")
     costs = ctx.costs
     p = nthreads
     workers = [WorkerStats() for _ in range(p)]
+    fork_t = costs.fork_cost(p) if fork else 0.0
 
     if schedule == "static":
         if chunk is None:
@@ -116,6 +122,21 @@ def run_worksharing_loop(
             workers[i].busy = float(busy[i])
             workers[i].overhead = float(overhead[i])
             workers[i].tasks = int(counts[i])
+        if tracer is not None:
+            # chunks run back-to-back per worker after the fork; the gap
+            # to the end barrier is the imbalance the timeline shows
+            cursor = [fork_t] * p
+            for own, dur in zip(owner, durations):
+                own = int(own)
+                s = cursor[own] + costs.static_chunk
+                e = s + float(dur)
+                tracer.span(own, s, e, "chunk", space.name)
+                cursor[own] = e
+            if barrier:
+                bar_end = fork_t + loop_time + costs.barrier_cost(p)
+                for w in range(p):
+                    if cursor[w] < bar_end:
+                        tracer.span(w, cursor[w], bar_end, "barrier", "barrier")
         meta = {"schedule": "static", "nchunks": int(durations.size)}
     elif schedule in ("dynamic", "guided"):
         if schedule == "dynamic":
@@ -138,8 +159,11 @@ def run_worksharing_loop(
                 f"raise the chunk size (cap {_MAX_DISPATCH_CHUNKS})"
             )
         durations = _chunk_durations(space, edges, p, ctx, work_scale)
-        loop_time = _dispatch(durations, p, costs.dynamic_dispatch, workers)
-        meta = {"schedule": schedule, "nchunks": nchunks}
+        loop_time, lock_wait = _dispatch(
+            durations, p, costs.dynamic_dispatch, workers,
+            tracer=tracer, t0=fork_t, tag=space.name,
+        )
+        meta = {"schedule": schedule, "nchunks": nchunks, "lock_wait": lock_wait}
     else:
         raise ValueError(f"unknown schedule {schedule!r}")
 
@@ -163,27 +187,44 @@ def run_worksharing_loop(
 
 
 def _dispatch(
-    durations: np.ndarray, p: int, dispatch_cost: float, workers: list[WorkerStats]
-) -> float:
+    durations: np.ndarray,
+    p: int,
+    dispatch_cost: float,
+    workers: list[WorkerStats],
+    *,
+    tracer=None,
+    t0: float = 0.0,
+    tag: str = "chunk",
+) -> tuple[float, float]:
     """Greedy simulation of lock-serialized chunk dispatch.
 
     Each free thread grabs the next chunk under the shared loop-counter
     lock; the lock grant order is FIFO by request time, which is exactly
-    how the guided/dynamic critical section behaves.
+    how the guided/dynamic critical section behaves.  Returns the loop
+    finish time and the total seconds spent waiting on the loop-counter
+    lock; with ``tracer`` it also emits per-chunk execution spans and
+    lock-wait spans at ``t0`` + loop-local times.
     """
     heap = [(0.0, i) for i in range(p)]
     heapq.heapify(heap)
     lock_busy = 0.0
     finish = 0.0
+    lock_wait = 0.0
     for dur in durations:
+        dur = float(dur)
         t, w = heapq.heappop(heap)
         grant = t if t >= lock_busy else lock_busy
         lock_busy = grant + dispatch_cost
         done = grant + dispatch_cost + dur
-        workers[w].busy += float(dur)
+        workers[w].busy += dur
         workers[w].overhead += (grant - t) + dispatch_cost
         workers[w].tasks += 1
+        lock_wait += grant - t
+        if tracer is not None:
+            if grant > t:
+                tracer.span(w, t0 + t, t0 + grant, "lock_wait", "loop_counter")
+            tracer.span(w, t0 + grant + dispatch_cost, t0 + done, "chunk", tag)
         if done > finish:
             finish = done
         heapq.heappush(heap, (done, w))
-    return finish
+    return finish, lock_wait

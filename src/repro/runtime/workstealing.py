@@ -89,11 +89,17 @@ class StealingScheduler:
     reducer:
         Charge Cilk reducer semantics: a view creation per steal and a
         view merge per steal at the final sync.
+    tracer:
+        A :class:`~repro.obs.tracer.Tracer` receiving the structured
+        event stream: task-execution spans, steal-attempt spans
+        (successful and failed probes), engine event times and per-deque
+        lock grants.  This is the one observability hook; disabled
+        (``None``) it costs a single branch at each emission site.
     audit:
-        Record the validation audit logs: per-deque ``SimLock`` grant
-        triples and the engine's processed-event times, exposed through
-        the result meta (``lock_audit``, ``event_times``) for
-        :mod:`repro.validate` to check exclusivity and monotonicity.
+        Deprecated (pre-tracer) validation logs: per-deque ``SimLock``
+        grant triples and the engine's processed-event times, exposed
+        through the result meta (``lock_audit``, ``event_times``) for
+        the old :mod:`repro.validate` entry points.  Still honoured.
     """
 
     def __init__(
@@ -112,6 +118,7 @@ class StealingScheduler:
         central_queue: bool = False,
         work_first: bool = False,
         audit: bool = False,
+        tracer=None,
     ) -> None:
         if nthreads <= 0:
             raise ValueError("nthreads must be positive")
@@ -126,14 +133,19 @@ class StealingScheduler:
         self.undeferred_single = undeferred_single
         self.per_task_overhead = per_task_overhead
         self.reducer = reducer
+        self.tracer = tracer
 
-        self.engine = Engine()
+        self.engine = Engine(tracer=tracer)
         self.audit = audit
         if audit:
             self.engine.enable_audit()
         self.rng = random.Random(ctx.seed ^ (len(graph) * 2654435761 % (1 << 30)))
-        self.deques = [make_deque(deque, w, ctx.costs, audit=audit) for w in range(nthreads)]
+        self.deques = [
+            make_deque(deque, w, ctx.costs, audit=audit, tracer=tracer)
+            for w in range(nthreads)
+        ]
         self.stats = [WorkerStats() for _ in range(nthreads)]
+        self.steal_time = 0.0
         self.state = [_IDLE] * nthreads
         self.remaining = graph.indegrees()
         self.done = 0
@@ -181,6 +193,8 @@ class StealingScheduler:
             "steals": sum(d.steals for d in self.deques),
             "failed_steals": sum(d.failed_steals for d in self.deques),
             "lock_wait": sum(d.lock.wait_time for d in self.deques),
+            "steal_time": self.steal_time,
+            "max_deque_depth": max(d.max_depth for d in self.deques),
             "events": self.engine.events_processed,
             "reducer_views": self.steal_views,
         }
@@ -218,9 +232,12 @@ class StealingScheduler:
         """One thread, tasks executed immediately at creation."""
         t = 0.0
         st = self.stats[0]
+        tracer = self.tracer
         for task in self.graph.tasks:  # creation order is topological
             spawn = task.spawn_cost if task.spawn_cost > 0 else self.spawn_cost
             dur = self.ctx.duration(task.work, task.membytes, task.locality, 1)
+            if tracer is not None:
+                tracer.span(0, t + spawn, t + spawn + dur, "task", task.tag or "task")
             t += spawn + dur + self.per_task_overhead
             st.busy += dur
             st.overhead += spawn + self.per_task_overhead
@@ -243,6 +260,8 @@ class StealingScheduler:
         t0 = max(t, self.engine.now)
         if self.record:
             self.intervals.append((w, t0, t0 + dur, task.tag or "task"))
+        if self.tracer is not None:
+            self.tracer.span(w, t0, t0 + dur, "task", task.tag or "task")
         self.engine.at(t0 + dur, partial(self._finish, w, tid))
 
     def _own_deque(self, w: int):
@@ -295,13 +314,19 @@ class StealingScheduler:
                 st = self.stats[w]
                 st.steals += 1
                 st.overhead += t2 - t
+                self.steal_time += t2 - t
                 if self.reducer:
                     t2 += self.ctx.costs.reducer_view
                     self.steal_views += 1
+                if self.tracer is not None:
+                    self.tracer.span(w, t, t2, "steal", f"steal<-w{victim}")
                 self._start(w, tid, t2)
                 return
             self.stats[w].failed_steals += 1
             self.stats[w].overhead += t2 - t
+            self.steal_time += t2 - t
+            if self.tracer is not None:
+                self.tracer.span(w, t, t2, "steal_fail", f"probe->w{victim}")
             t = t2
         self.state[w] = _IDLE
         self._idle.append(w)
@@ -324,6 +349,8 @@ class StealingScheduler:
     def _woken(self, w: int) -> None:
         if self.state[w] != _WAKING:
             return
+        if self.tracer is not None:
+            self.tracer.instant(w, self.engine.now, "wake")
         self._acquire(w, self.engine.now)
 
 
@@ -452,6 +479,7 @@ def run_stealing_loop(
     undeferred_single: bool = False,
     record: bool = False,
     audit: bool = False,
+    tracer=None,
 ) -> RegionResult:
     """Execute a parallel loop on the work-stealing runtime.
 
@@ -478,6 +506,10 @@ def run_stealing_loop(
         exit_c = costs.taskwait if exit_cost is None else exit_cost
     else:
         raise ValueError(f"unknown stealing loop style {style!r}")
+    if tracer is not None:
+        # spans inside the scheduler are region-local starting after the
+        # (already charged) entry cost
+        tracer.offset += entry_cost
     sched = StealingScheduler(
         graph,
         nthreads,
@@ -488,6 +520,7 @@ def run_stealing_loop(
         undeferred_single=undeferred_single,
         record=record,
         audit=audit,
+        tracer=tracer,
     )
     res = sched.run()
     res.meta["bytes_penalty"] = penalty
@@ -516,8 +549,11 @@ def run_stealing_graph(
     work_first: bool = False,
     record: bool = False,
     audit: bool = False,
+    tracer=None,
 ) -> RegionResult:
     """Execute an explicit task DAG on the work-stealing runtime."""
+    if tracer is not None:
+        tracer.offset += entry_cost
     sched = StealingScheduler(
         graph,
         nthreads,
@@ -531,6 +567,7 @@ def run_stealing_graph(
         work_first=work_first,
         record=record,
         audit=audit,
+        tracer=tracer,
     )
     res = sched.run()
     return RegionResult(

@@ -21,7 +21,7 @@ approximation consistent.
 from __future__ import annotations
 
 from collections import deque as _pydeque
-from typing import Optional
+from typing import Any, Optional
 
 from repro.sim.costs import CostModel
 from repro.sim.engine import SimLock
@@ -30,18 +30,32 @@ __all__ = ["WorkDeque", "THEDeque", "LockedDeque", "make_deque"]
 
 
 class WorkDeque:
-    """Common state: a double-ended queue of task ids plus statistics."""
+    """Common state: a double-ended queue of task ids plus statistics.
 
-    __slots__ = ("items", "lock", "owner", "pushes", "pops", "steals", "failed_steals")
+    ``max_depth`` tracks the high-water occupancy — the queue-depth
+    metric the observability layer reports (a deep deque means the owner
+    outran its thieves; a shallow one means distribution is the
+    bottleneck)."""
 
-    def __init__(self, owner: int, name: str = "deque", audit: bool = False) -> None:
+    __slots__ = (
+        "items", "lock", "owner", "pushes", "pops", "steals", "failed_steals", "max_depth",
+    )
+
+    def __init__(
+        self,
+        owner: int,
+        name: str = "deque",
+        audit: bool = False,
+        tracer: Optional[Any] = None,
+    ) -> None:
         self.items: _pydeque[int] = _pydeque()
-        self.lock = SimLock(f"{name}[{owner}]", audit=audit)
+        self.lock = SimLock(f"{name}[{owner}]", audit=audit, tracer=tracer)
         self.owner = owner
         self.pushes = 0
         self.pops = 0
         self.steals = 0
         self.failed_steals = 0
+        self.max_depth = 0
 
     def __len__(self) -> int:
         return len(self.items)
@@ -69,14 +83,21 @@ class THEDeque(WorkDeque):
     __slots__ = ("_costs",)
 
     def __init__(
-        self, owner: int, costs: CostModel, name: str = "the", audit: bool = False
+        self,
+        owner: int,
+        costs: CostModel,
+        name: str = "the",
+        audit: bool = False,
+        tracer: Optional[Any] = None,
     ) -> None:
-        super().__init__(owner, name, audit=audit)
+        super().__init__(owner, name, audit=audit, tracer=tracer)
         self._costs = costs
 
     def push(self, t: float, tid: int) -> float:
         self.items.append(tid)
         self.pushes += 1
+        if len(self.items) > self.max_depth:
+            self.max_depth = len(self.items)
         return t + self._costs.the_push
 
     def pop(self, t: float) -> tuple[Optional[int], float]:
@@ -108,15 +129,22 @@ class LockedDeque(WorkDeque):
     __slots__ = ("_costs",)
 
     def __init__(
-        self, owner: int, costs: CostModel, name: str = "locked", audit: bool = False
+        self,
+        owner: int,
+        costs: CostModel,
+        name: str = "locked",
+        audit: bool = False,
+        tracer: Optional[Any] = None,
     ) -> None:
-        super().__init__(owner, name, audit=audit)
+        super().__init__(owner, name, audit=audit, tracer=tracer)
         self._costs = costs
 
     def push(self, t: float, tid: int) -> float:
         done = self.lock.acquire_release(t, self._costs.locked_push)
         self.items.append(tid)
         self.pushes += 1
+        if len(self.items) > self.max_depth:
+            self.max_depth = len(self.items)
         return done
 
     def pop(self, t: float) -> tuple[Optional[int], float]:
@@ -137,14 +165,21 @@ class LockedDeque(WorkDeque):
         return tid, done
 
 
-def make_deque(kind: str, owner: int, costs: CostModel, audit: bool = False) -> WorkDeque:
+def make_deque(
+    kind: str,
+    owner: int,
+    costs: CostModel,
+    audit: bool = False,
+    tracer: Optional[Any] = None,
+) -> WorkDeque:
     """Factory: ``kind`` is ``"the"`` (Cilk) or ``"locked"`` (OpenMP).
 
-    ``audit=True`` turns on the per-deque :class:`SimLock` grant log for
-    the validation subsystem's exclusivity check.
+    ``tracer`` routes the per-deque :class:`SimLock` grants into the
+    observability layer; ``audit=True`` keeps the deprecated per-lock
+    ``log`` list for the old validation entry points.
     """
     if kind == "the":
-        return THEDeque(owner, costs, audit=audit)
+        return THEDeque(owner, costs, audit=audit, tracer=tracer)
     if kind == "locked":
-        return LockedDeque(owner, costs, audit=audit)
+        return LockedDeque(owner, costs, audit=audit, tracer=tracer)
     raise ValueError(f"unknown deque kind {kind!r} (expected 'the' or 'locked')")

@@ -24,27 +24,42 @@ __all__ = ["Engine", "SimLock"]
 class Engine:
     """A deterministic discrete-event simulator clock and queue.
 
-    ``audit`` is an optional event log used by the validation subsystem
-    (:mod:`repro.validate`): when :meth:`enable_audit` has been called,
-    :meth:`run` appends one ``(time, seq)`` pair per processed event, so
-    a checker can verify the clock advanced monotonically and ties were
-    broken by insertion order.  The log is off by default — the hook
-    costs one branch per event when disabled.
+    ``tracer`` is the observability hook (:mod:`repro.obs`): when a
+    :class:`~repro.obs.tracer.Tracer` is attached, :meth:`run` records
+    one ``(time, seq)`` engine event per processed entry, so checkers
+    can verify the clock advanced monotonically and ties were broken by
+    insertion order.  The hook is off by default — it costs one branch
+    per event when disabled.
+
+    ``audit`` is the pre-tracer form of the same log, kept as a working
+    deprecated shim: :meth:`enable_audit` attaches a private tracer and
+    exposes its event list under the old attribute.
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_events_processed", "audit")
+    __slots__ = ("now", "_heap", "_seq", "_events_processed", "audit", "tracer")
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Optional[Any] = None) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self.audit: Optional[list[tuple[float, int]]] = None
+        self.tracer: Optional[Any] = tracer
 
     def enable_audit(self) -> list[tuple[float, int]]:
-        """Start recording ``(time, seq)`` per processed event."""
+        """Start recording ``(time, seq)`` per processed event.
+
+        .. deprecated:: PR 2
+            Attach a :class:`~repro.obs.tracer.Tracer` instead; this
+            shim now routes through one and returns its
+            ``engine_events`` list (same contents as before).
+        """
         if self.audit is None:
-            self.audit = []
+            if self.tracer is None:
+                from repro.obs.tracer import Tracer
+
+                self.tracer = Tracer()
+            self.audit = self.tracer.engine_events
         return self.audit
 
     def at(self, time: float, callback: Callable[[], None]) -> None:
@@ -77,6 +92,7 @@ class Engine:
         Returns the final clock value.
         """
         heap = self._heap
+        tracer = self.tracer
         processed = 0
         while heap:
             time, _seq, callback = heap[0]
@@ -84,8 +100,8 @@ class Engine:
                 break
             heapq.heappop(heap)
             self.now = time
-            if self.audit is not None:
-                self.audit.append((time, _seq))
+            if tracer is not None:
+                tracer.engine_event(time, _seq)
             callback()
             processed += 1
             if max_events is not None and processed > max_events:
@@ -113,21 +129,29 @@ class SimLock:
     — true for event-driven callers (events fire in time order) and for
     the analytic worksharing dispatcher (chunks dispatched in time order).
 
-    With ``audit=True`` every acquisition is logged as a
-    ``(request, grant, hold)`` triple in :attr:`log`; the validation
-    subsystem checks exclusivity (no two grant windows overlap) and
-    causality (no grant before its request) on that log.
+    With a :class:`~repro.obs.tracer.Tracer` attached, every
+    acquisition is emitted as a lock event ``(request, grant, hold)``
+    keyed by the lock's name; the validation subsystem checks
+    exclusivity (no two grant windows overlap) and causality (no grant
+    before its request) on that log, and the Chrome-trace exporter
+    renders it as a per-lock track.  ``audit=True`` keeps the pre-tracer
+    per-lock :attr:`log` list working (deprecated shim).
     """
 
-    __slots__ = ("name", "busy_until", "acquisitions", "wait_time", "hold_time", "log")
+    __slots__ = (
+        "name", "busy_until", "acquisitions", "wait_time", "hold_time", "log", "tracer",
+    )
 
-    def __init__(self, name: str = "lock", audit: bool = False) -> None:
+    def __init__(
+        self, name: str = "lock", audit: bool = False, tracer: Optional[Any] = None
+    ) -> None:
         self.name = name
         self.busy_until: float = 0.0
         self.acquisitions: int = 0
         self.wait_time: float = 0.0
         self.hold_time: float = 0.0
         self.log: Optional[list[tuple[float, float, float]]] = [] if audit else None
+        self.tracer: Optional[Any] = tracer
 
     def acquire(self, t: float, hold: float) -> float:
         """Request the lock at time ``t`` for ``hold`` seconds.
@@ -145,6 +169,8 @@ class SimLock:
         self.hold_time += hold
         if self.log is not None:
             self.log.append((t, grant, hold))
+        if self.tracer is not None:
+            self.tracer.lock_event(self.name, t, grant, hold)
         return grant
 
     def acquire_release(self, t: float, hold: float) -> float:

@@ -64,16 +64,32 @@ class RegionResult:
         denom = self.time * max(1, self.nthreads)
         return self.total_busy / denom if denom > 0 else 0.0
 
+    def metrics(self, registry=None):
+        """Counters/gauges/histograms for this region.
+
+        Convenience front for :func:`repro.obs.metrics.region_metrics`
+        (imported lazily; ``repro.sim`` stays import-light)."""
+        from repro.obs.metrics import region_metrics
+
+        return region_metrics(self, registry)
+
 
 @dataclass
 class SimResult:
-    """Outcome of a full program run at one thread count."""
+    """Outcome of a full program run at one thread count.
+
+    ``trace`` holds the :class:`~repro.obs.tracer.Tracer` that observed
+    the run when one was passed to
+    :func:`~repro.runtime.run.run_program` (``None`` otherwise — the
+    default path carries no per-event state at all).
+    """
 
     program: str
     version: str
     nthreads: int
     time: float
     regions: list[RegionResult] = field(default_factory=list)
+    trace: object = None
 
     @property
     def total_busy(self) -> float:
@@ -99,6 +115,14 @@ class SimResult:
         """Overhead worker-seconds relative to busy worker-seconds."""
         busy = self.total_busy
         return self.total_overhead / busy if busy > 0 else 0.0
+
+    def metrics(self):
+        """Merged metrics registry over every region plus run-level gauges.
+
+        Lazy front for :func:`repro.obs.metrics.result_metrics`."""
+        from repro.obs.metrics import result_metrics
+
+        return result_metrics(self)
 
     def describe(self) -> str:
         return (

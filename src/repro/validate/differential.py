@@ -18,9 +18,13 @@ module provides two:
   * **speedup ordering** — one thread must cost about the serial time
     (no hidden parallel-only work), and adding threads must never slow
     a run down by more than the modelled overhead slack;
-  * every trace-level invariant from :mod:`repro.validate.invariants`,
-    with interval recording and lock/event audit logs enabled on the
-    event-driven runs.
+  * every trace-level invariant from :mod:`repro.validate.invariants`:
+    each matrix run carries its own :class:`~repro.obs.tracer.Tracer`
+    (stashed in ``meta["trace"]``) whose unified event stream —
+    execution spans, lock grants, engine events — is put through
+    :func:`~repro.validate.invariants.check_trace`, and whose
+    per-worker execution-span seconds are cross-checked against the
+    runtime's own ``WorkerStats`` busy accounting.
 
 - :func:`run_registry_audit` — every registered workload x version
   built and executed at reduced size, each result put through the cheap
@@ -36,9 +40,16 @@ from repro.runtime.run import run_program
 from repro.runtime.threadpool import run_threadpool_graph, run_threadpool_loop
 from repro.runtime.worksharing import run_worksharing_loop
 from repro.runtime.workstealing import run_stealing_graph, run_stealing_loop
+from repro.obs.tracer import Tracer
 from repro.sim.task import IterSpace, TaskGraph
 from repro.sim.trace import RegionResult
-from repro.validate.invariants import ValidationReport, check_region, check_result
+from repro.validate.invariants import (
+    ValidationReport,
+    _tol,
+    check_region,
+    check_result,
+    check_trace,
+)
 
 __all__ = [
     "DEFAULT_THREADS",
@@ -81,19 +92,37 @@ def _kernel_space(name: str, machine, n: int) -> IterSpace:
     return modules[name].space(machine, n)
 
 
+def _traced(run):
+    """Give every matrix run a fresh tracer, stashed in ``meta["trace"]``."""
+
+    def wrapped(item, p, ctx):
+        tracer = Tracer()
+        res = run(item, p, ctx, tracer)
+        res.meta["trace"] = tracer
+        return res
+
+    return wrapped
+
+
 def loop_runtime_matrix() -> dict[str, Callable[[IterSpace, int, ExecContext], RegionResult]]:
     """Every loop runtime x schedule combination under test."""
 
     def ws(schedule):
-        return lambda s, p, ctx: run_worksharing_loop(s, p, ctx, schedule=schedule)
+        return _traced(
+            lambda s, p, ctx, tr: run_worksharing_loop(s, p, ctx, schedule=schedule, tracer=tr)
+        )
 
     def steal(style, deque):
-        return lambda s, p, ctx: run_stealing_loop(
-            s, p, ctx, style=style, deque=deque, record=True, audit=True
+        return _traced(
+            lambda s, p, ctx, tr: run_stealing_loop(
+                s, p, ctx, style=style, deque=deque, tracer=tr
+            )
         )
 
     def pool(mode):
-        return lambda s, p, ctx: run_threadpool_loop(s, p, ctx, mode=mode)
+        return _traced(
+            lambda s, p, ctx, tr: run_threadpool_loop(s, p, ctx, mode=mode, tracer=tr)
+        )
 
     return {
         "worksharing/static": ws("static"),
@@ -112,15 +141,19 @@ def graph_runtime_matrix() -> dict[str, Callable[[TaskGraph, int, ExecContext], 
     """Every task-graph runtime under test (fib-style spawn trees)."""
 
     def steal(deque, work_first=False):
-        return lambda g, p, ctx: run_stealing_graph(
-            g, p, ctx, deque=deque, work_first=work_first, record=True, audit=True
+        return _traced(
+            lambda g, p, ctx, tr: run_stealing_graph(
+                g, p, ctx, deque=deque, work_first=work_first, tracer=tr
+            )
         )
 
     return {
         "stealing/the": steal("the"),
         "stealing/locked": steal("locked"),
         "stealing/the/work_first": steal("the", work_first=True),
-        "threadpool_graph/async": lambda g, p, ctx: run_threadpool_graph(g, p, ctx, mode="async"),
+        "threadpool_graph/async": _traced(
+            lambda g, p, ctx, tr: run_threadpool_graph(g, p, ctx, mode="async", tracer=tr)
+        ),
     }
 
 
@@ -129,6 +162,26 @@ def _stats_snapshot(res: RegionResult) -> tuple:
         res.time,
         tuple((w.busy, w.overhead, w.tasks, w.steals, w.failed_steals) for w in res.workers),
     )
+
+
+def _check_trace_busy(
+    rep: ValidationReport, res: RegionResult, trace: Tracer, where: str
+) -> None:
+    """Tracer-vs-stats cross-check: the execution spans each worker
+    emitted must account for exactly the busy seconds its stats claim."""
+    if res.meta and res.meta.get("aggregate_workers"):
+        return
+    sums = [0.0] * len(res.workers)
+    for s in trace.exec_spans():
+        if 0 <= s.worker < len(sums):
+            sums[s.worker] += s.duration
+    for i, (w, got) in enumerate(zip(res.workers, sums)):
+        rep.check(
+            abs(w.busy - got) <= _tol(w.busy),
+            "trace-busy-mismatch",
+            f"{where} worker[{i}]",
+            f"stats busy {w.busy:.9g} != traced exec spans {got:.9g}",
+        )
 
 
 def _check_case(
@@ -159,6 +212,19 @@ def _check_case(
             f"repeated runs disagree: {r1.time!r} vs {r2.time!r}",
         )
         check_region(r1, ctx=ctx, report=rep, where=f"{where} p={p}")
+        trace = (r1.meta or {}).get("trace")
+        if trace is not None:
+            trace2 = (r2.meta or {}).get("trace")
+            if trace2 is not None:
+                rep.check(
+                    trace.spans == trace2.spans
+                    and trace.engine_events == trace2.engine_events,
+                    "determinism-trace",
+                    f"{where} p={p}",
+                    "repeated runs emitted different event traces",
+                )
+            check_trace(trace, horizon=r1.time, report=rep, where=f"{where} p={p}")
+            _check_trace_busy(rep, r1, trace, f"{where} p={p}")
         results[p] = r1
     t1 = results[min(threads)].time if 1 in threads else None
     if 1 in threads:

@@ -46,6 +46,7 @@ __all__ = [
     "check_lock_log",
     "check_region",
     "check_result",
+    "check_trace",
 ]
 
 #: Relative tolerance for float comparisons (sums accumulated in
@@ -386,6 +387,58 @@ def check_region(
     events = meta.get("event_times")
     if events is not None:
         check_event_times(events, report=rep, where=where)
+    return rep
+
+
+def check_trace(
+    tracer,
+    *,
+    horizon: Optional[float] = None,
+    nworkers: Optional[int] = None,
+    report: Optional[ValidationReport] = None,
+    where: str = "trace",
+) -> ValidationReport:
+    """Audit a unified :class:`~repro.obs.tracer.Tracer` event stream.
+
+    This is the tracer-era entry point that subsumes the per-log checks
+    above: execution spans (task/chunk/serial/kernel/transfer) are held
+    to the per-worker no-overlap invariant, overhead spans (steals, lock
+    waits, barriers) to well-formedness only — a worker legitimately
+    waits on the same row it later executes on.  Every recorded lock's
+    grant log is checked for causality and mutual exclusion, and the
+    engine event stream for a monotonic clock.
+
+    A program tracer concatenates events from several
+    :class:`~repro.sim.engine.Engine` incarnations (one per event-driven
+    region), so the strict same-time insertion-order tie-break is only
+    asserted per engine by :func:`check_event_times`; here ties are just
+    required to be distinct ``(time, seq)`` pairs.
+    """
+    rep = report if report is not None else ValidationReport()
+    p = nworkers if nworkers is not None else max(1, tracer.nworkers)
+    check_intervals(
+        tracer.intervals(), p, horizon=horizon, report=rep, where=f"{where} exec"
+    )
+    for s in tracer.spans:
+        tag = f"{where} {s.kind}"
+        rep.check(s.start >= -_ATOL, "span-nonnegative", tag,
+                  f"worker {s.worker} span starts at {s.start}")
+        rep.check(s.end >= s.start - _tol(s.end), "span-ordered", tag,
+                  f"worker {s.worker} span [{s.start}, {s.end}) ends before it starts")
+        if horizon is not None:
+            rep.check(s.end <= horizon + _tol(horizon), "span-horizon", tag,
+                      f"worker {s.worker} span ends at {s.end} past horizon {horizon}")
+    for name, log in sorted(tracer.lock_events.items()):
+        check_lock_log(log, report=rep, where=f"{where} {name}")
+    prev_t, prev_seq = None, None
+    for t, seq in tracer.engine_events:
+        if prev_t is not None:
+            rep.check(t >= prev_t, "event-monotonic", f"{where} engine",
+                      f"clock went backwards: {prev_t} -> {t}")
+            if t == prev_t:
+                rep.check(seq != prev_seq, "event-tie-order", f"{where} engine",
+                          f"duplicate event (t={t}, seq={seq})")
+        prev_t, prev_seq = t, seq
     return rep
 
 

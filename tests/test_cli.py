@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -63,6 +65,69 @@ class TestCommands:
         assert main(["offload", "--n", "1000000", "--iterations", "2"]) == 0
         out = capsys.readouterr().out
         assert "host" in out
+
+
+class TestTraceCommand:
+    def test_trace_args(self):
+        args = build_parser().parse_args(["trace", "fib", "-m", "cilk", "-p", "8"])
+        assert args.workload == "fib" and args.model == "cilk" and args.threads == 8
+
+    def test_trace_smoke_writes_chrome_json(self, capsys, tmp_path):
+        """Acceptance: `repro trace fib --model cilk --threads 16 --out t.json`
+        writes Chrome-trace JSON with >= 1 span per worker, creating the
+        missing output directory."""
+        out = tmp_path / "no" / "such" / "dir" / "t.json"
+        code = main(
+            ["trace", "fib", "--model", "cilk", "--threads", "16", "--out", str(out)]
+        )
+        assert code == 0
+        assert "bottleneck attribution" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        exec_kinds = {"task", "chunk", "serial", "kernel", "transfer"}
+        workers = {
+            e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") in exec_kinds
+        }
+        assert workers == set(range(16))
+
+    def test_trace_metrics_and_gantt(self, capsys, tmp_path):
+        out = tmp_path / "metrics.json"
+        code = main(
+            ["trace", "matmul", "-m", "omp", "-p", "4", "--gantt",
+             "--metrics-out", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "w0" in printed  # the gantt rows
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "omp_for" and doc["nthreads"] == 4
+
+    def test_trace_model_prefix_resolution(self, capsys):
+        assert main(["trace", "fib", "-m", "omp", "-p", "2"]) == 0
+        assert "omp_task" in capsys.readouterr().out
+
+    def test_trace_unknown_workload_exits_2(self, capsys):
+        assert main(["trace", "nbody", "-m", "omp"]) == 2
+        assert "nbody" in capsys.readouterr().err
+
+    def test_trace_unknown_model_exits_2(self, capsys):
+        assert main(["trace", "fib", "-m", "rayon"]) == 2
+        err = capsys.readouterr().err
+        assert "rayon" in err and "cilk_spawn" in err
+
+    def test_trace_thread_explosion_exits_1(self, capsys):
+        # fib's cxx_async at default size exceeds the thread cap: the
+        # paper's reproduced "system hangs", reported as failure not crash
+        assert main(["trace", "fib", "-m", "cxx", "-p", "16"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFigureOut:
+    def test_figure_out_creates_directories(self, capsys, tmp_path):
+        out = tmp_path / "fresh" / "figs" / "axpy.txt"
+        assert main(["figure", "axpy", "--threads", "1", "2", "--out", str(out)]) == 0
+        assert out.exists() and "p=2" in out.read_text()
 
 
 class TestValidateCommand:

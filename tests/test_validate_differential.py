@@ -47,17 +47,16 @@ class TestValidateCli:
 
     def test_validate_exits_nonzero_on_injected_violation(self, monkeypatch, capsys):
         """Acceptance criterion: a deliberately broken invariant (an
-        overlapping busy interval smuggled into every recorded stealing
-        trace) must turn the exit code non-zero."""
+        overlapping execution span smuggled into every traced stealing
+        run) must turn the exit code non-zero."""
         real = StealingScheduler.run
 
         def tampered(self):
             res = real(self)
-            if "intervals" in res.meta:
-                res.meta["intervals"] = list(res.meta["intervals"]) + [
-                    (0, 0.0, max(res.time, 1.0), "tamper"),
-                    (0, 0.0, max(res.time, 1.0) / 2, "tamper"),
-                ]
+            if self.tracer is not None:
+                end = max(res.time, 1.0)
+                self.tracer.span(0, 0.0, end, "task", "tamper")
+                self.tracer.span(0, 0.0, end / 2, "task", "tamper")
             return res
 
         monkeypatch.setattr(StealingScheduler, "run", tampered)
