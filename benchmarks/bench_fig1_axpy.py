@@ -5,7 +5,7 @@ while other versions almost show the similar performance that are
 around two times better than cilk_for except for 32 cores".
 """
 
-from conftest import THREADS, run_once
+from conftest import JOBS, THREADS, run_once
 
 from repro.core.experiment import run_experiment
 from repro.core.metrics import best_version, gap, version_ratio
@@ -16,7 +16,7 @@ N = 8_000_000  # reduced from 100M; per-chunk dynamics unchanged (DESIGN.md)
 
 def bench_fig1_axpy(benchmark, ctx, save):
     sweep = run_once(
-        benchmark, lambda: run_experiment("axpy", threads=THREADS, ctx=ctx, n=N)
+        benchmark, lambda: run_experiment("axpy", threads=THREADS, ctx=ctx, jobs=JOBS, n=N)
     )
     save("fig1_axpy", render_sweep(sweep, chart=True))
 

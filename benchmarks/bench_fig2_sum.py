@@ -5,7 +5,7 @@ best performance and performs around five times better than cilk_for";
 the reducer hyperobject's per-access cost is the culprit.
 """
 
-from conftest import THREADS, run_once
+from conftest import JOBS, THREADS, run_once
 
 from repro.core.experiment import run_experiment
 from repro.core.metrics import gap, version_ratio
@@ -16,7 +16,7 @@ N = 8_000_000
 
 def bench_fig2_sum(benchmark, ctx, save):
     sweep = run_once(
-        benchmark, lambda: run_experiment("sum", threads=THREADS, ctx=ctx, n=N)
+        benchmark, lambda: run_experiment("sum", threads=THREADS, ctx=ctx, jobs=JOBS, n=N)
     )
     save("fig2_sum", render_sweep(sweep, chart=True))
 

@@ -6,7 +6,7 @@ hundreds of KB, so the fine-chunk term vanishes), which appears once
 the computation spans both sockets.
 """
 
-from conftest import THREADS, run_once
+from conftest import JOBS, THREADS, run_once
 
 from repro.core.experiment import run_experiment
 from repro.core.metrics import gap
@@ -17,7 +17,7 @@ N = 40_000  # the paper's size
 
 def bench_fig3_matvec(benchmark, ctx, save):
     sweep = run_once(
-        benchmark, lambda: run_experiment("matvec", threads=THREADS, ctx=ctx, n=N)
+        benchmark, lambda: run_experiment("matvec", threads=THREADS, ctx=ctx, jobs=JOBS, n=N)
     )
     save("fig3_matvec", render_sweep(sweep, chart=True))
 

@@ -7,7 +7,7 @@ intensity increases from AXPY to Matvec and Matmul, we see less impact
 of runtime scheduling to the performance".
 """
 
-from conftest import THREADS, run_once
+from conftest import JOBS, THREADS, run_once
 
 from repro.core.experiment import run_experiment
 from repro.core.metrics import gap
@@ -18,7 +18,7 @@ N = 2048  # the paper's size
 
 def bench_fig4_matmul(benchmark, ctx, save):
     sweep = run_once(
-        benchmark, lambda: run_experiment("matmul", threads=THREADS, ctx=ctx, n=N)
+        benchmark, lambda: run_experiment("matmul", threads=THREADS, ctx=ctx, jobs=JOBS, n=N)
     )
     save("fig4_matmul", render_sweep(sweep, chart=True))
 
@@ -38,9 +38,9 @@ def bench_fig4_intensity_ordering(benchmark, ctx, save):
 
     def sweeps():
         return (
-            run_experiment("axpy", threads=(36,), ctx=ctx, n=8_000_000),
-            run_experiment("matvec", threads=(36,), ctx=ctx, n=40_000),
-            run_experiment("matmul", threads=(36,), ctx=ctx, n=2048),
+            run_experiment("axpy", threads=(36,), ctx=ctx, jobs=JOBS, n=8_000_000),
+            run_experiment("matvec", threads=(36,), ctx=ctx, jobs=JOBS, n=40_000),
+            run_experiment("matmul", threads=(36,), ctx=ctx, jobs=JOBS, n=2048),
         )
 
     ax, mv, mm = run_once(benchmark, sweeps)

@@ -12,7 +12,7 @@ overhead ratios, which are what the figure shows, are scale-free.
 """
 
 import pytest
-from conftest import THREADS, run_once
+from conftest import JOBS, THREADS, run_once
 
 from repro.core.experiment import run_experiment
 from repro.core.metrics import version_ratio
@@ -28,7 +28,8 @@ def bench_fig5_fib(benchmark, ctx, save):
     sweep = run_once(
         benchmark,
         lambda: run_experiment(
-            "fib", versions=("omp_task", "cilk_spawn"), threads=THREADS, ctx=ctx, n=N
+            "fib", versions=("omp_task", "cilk_spawn"), threads=THREADS, ctx=ctx,
+            jobs=JOBS, n=N
         ),
     )
     save("fig5_fib", render_sweep(sweep, chart=True))

@@ -7,7 +7,7 @@ The plateau comes from random-access memory traffic saturating the
 sockets' effective bandwidth.
 """
 
-from conftest import THREADS, run_once
+from conftest import JOBS, THREADS, run_once
 
 from repro.core.experiment import run_experiment
 from repro.core.metrics import gap, speedup
@@ -19,7 +19,7 @@ N_NODES = 4_000_000  # reduced from 16M; level structure preserved
 def bench_fig6_bfs(benchmark, ctx, save):
     sweep = run_once(
         benchmark,
-        lambda: run_experiment("bfs", threads=THREADS, ctx=ctx, n_nodes=N_NODES),
+        lambda: run_experiment("bfs", threads=THREADS, ctx=ctx, jobs=JOBS, n_nodes=N_NODES),
     )
     save("fig6_bfs", render_sweep(sweep, chart=True))
 

@@ -9,7 +9,7 @@ added, the task parallel implementations are gaining more than the
 worksharing parallel implementations."
 """
 
-from conftest import THREADS, run_once
+from conftest import JOBS, THREADS, run_once
 
 from repro.core.experiment import run_experiment
 from repro.core.metrics import version_ratio
@@ -23,7 +23,7 @@ def bench_fig7_hotspot(benchmark, ctx, save):
     sweep = run_once(
         benchmark,
         lambda: run_experiment(
-            "hotspot", threads=THREADS, ctx=ctx, grid=GRID, steps=STEPS
+            "hotspot", threads=THREADS, ctx=ctx, jobs=JOBS, grid=GRID, steps=STEPS
         ),
     )
     save("fig7_hotspot", render_sweep(sweep, chart=True))

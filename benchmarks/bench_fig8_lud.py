@@ -7,7 +7,7 @@ fork/barrier per phase, capping every version's efficiency well below
 worksharing at scale.
 """
 
-from conftest import THREADS, run_once
+from conftest import JOBS, THREADS, run_once
 
 from repro.core.experiment import run_experiment
 from repro.core.metrics import speedup, version_ratio
@@ -20,7 +20,7 @@ BLOCK = 32
 def bench_fig8_lud(benchmark, ctx, save):
     sweep = run_once(
         benchmark,
-        lambda: run_experiment("lud", threads=THREADS, ctx=ctx, n=N, block=BLOCK),
+        lambda: run_experiment("lud", threads=THREADS, ctx=ctx, jobs=JOBS, n=N, block=BLOCK),
     )
     save("fig8_lud", render_sweep(sweep, chart=True))
 

@@ -6,7 +6,7 @@ and adequate arithmetic intensity leave the runtimes little to
 differentiate on.
 """
 
-from conftest import THREADS, run_once
+from conftest import JOBS, THREADS, run_once
 
 from repro.core.experiment import run_experiment
 from repro.core.metrics import gap, speedup
@@ -18,7 +18,7 @@ SRAD = {"grid": 2048, "iters": 10}
 
 def bench_fig9a_lavamd(benchmark, ctx, save):
     sweep = run_once(
-        benchmark, lambda: run_experiment("lavamd", threads=THREADS, ctx=ctx, **LAVAMD)
+        benchmark, lambda: run_experiment("lavamd", threads=THREADS, ctx=ctx, jobs=JOBS, **LAVAMD)
     )
     save("fig9a_lavamd", render_sweep(sweep, chart=True))
 
@@ -30,7 +30,7 @@ def bench_fig9a_lavamd(benchmark, ctx, save):
 
 def bench_fig9b_srad(benchmark, ctx, save):
     sweep = run_once(
-        benchmark, lambda: run_experiment("srad", threads=THREADS, ctx=ctx, **SRAD)
+        benchmark, lambda: run_experiment("srad", threads=THREADS, ctx=ctx, jobs=JOBS, **SRAD)
     )
     save("fig9b_srad", render_sweep(sweep, chart=True))
 

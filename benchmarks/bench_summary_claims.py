@@ -5,13 +5,13 @@ workstealing has better performance for task parallelism" — plus the
 ten figure-level claims, run as one battery.
 """
 
-from conftest import run_once
+from conftest import JOBS, run_once
 
 from repro.core.claims import ALL_CLAIMS, run_all_claims
 
 
 def bench_summary_claims(benchmark, ctx, save):
-    results = run_once(benchmark, lambda: run_all_claims(ctx))
+    results = run_once(benchmark, lambda: run_all_claims(ctx, jobs=JOBS))
     lines = ["Paper findings vs. this reproduction", "=" * 60]
     for r in results:
         lines.append(str(r))

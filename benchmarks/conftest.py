@@ -12,10 +12,21 @@ Run with::
 Problem sizes are the registry defaults (reduced from paper scale so
 the suite finishes in minutes; DESIGN.md explains why ratios are
 preserved).  Pass paper scale by editing the PARAMS dicts.
+
+Every sweep routes through the :mod:`repro.sweep` executor.  Set
+``REPRO_BENCH_JOBS=N`` to fan each sweep's cells out over N worker
+processes — results are bit-identical to serial runs (the executor's
+determinism contract), but note that the per-result validation audit
+below only interposes on the in-process serial path, so leave the
+default of 1 when you want every cell audited.
+
+``benchmarks/out/`` is generated output (gitignored since the sweep
+cache moved in under it); fixtures create it on demand.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 import re
 
@@ -26,6 +37,9 @@ from repro.runtime.base import ExecContext
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 METRICS_DIR = OUT_DIR / "metrics"
+
+#: worker processes per sweep (1 = serial, every result audited)
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def _slug(text: str) -> str:
@@ -45,31 +59,32 @@ def ctx() -> ExecContext:
 def _validate_every_result(monkeypatch):
     """Audit every simulated result and dump its metrics JSON.
 
-    ``run_experiment`` resolves ``run_program`` through its own module
-    namespace, so patching it there covers every figure sweep.  A
-    violated invariant (overlapping intervals, dropped work, impossible
-    makespan) fails the benchmark instead of silently producing a
-    plausible-looking table.  Each result's counters/gauges/attribution
-    land under ``benchmarks/out/metrics/`` as one JSON file per
-    (program, version, threads) cell, so a regression in e.g. steal
-    counts is diffable across runs.
+    The sweep executor resolves ``run_program`` through its own module
+    namespace on the in-process serial path, so patching it there
+    covers every figure sweep (at the default ``REPRO_BENCH_JOBS=1``).
+    A violated invariant (overlapping intervals, dropped work,
+    impossible makespan) fails the benchmark instead of silently
+    producing a plausible-looking table.  Each result's
+    counters/gauges/attribution land under ``benchmarks/out/metrics/``
+    as one JSON file per (program, version, threads) cell, so a
+    regression in e.g. steal counts is diffable across runs.
     """
-    import repro.core.experiment as experiment
+    import repro.sweep.executor as executor
     from repro.obs.export import write_metrics
     from repro.runtime.run import run_program
 
-    def checked(program, nthreads, ctx_, version="", validate=True):
-        res = run_program(program, nthreads, ctx_, version, validate=True)
+    def checked(program, nthreads, ctx_, version="", validate=True, **kwargs):
+        res = run_program(program, nthreads, ctx_, version, validate=True, **kwargs)
         name = _slug(f"{res.program}_{res.version}_p{res.nthreads}")
         write_metrics(METRICS_DIR / f"{name}.json", res)
         return res
 
-    monkeypatch.setattr(experiment, "run_program", checked)
+    monkeypatch.setattr(executor, "run_program", checked)
 
 
 @pytest.fixture(scope="session")
 def out_dir() -> pathlib.Path:
-    OUT_DIR.mkdir(exist_ok=True)
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
     return OUT_DIR
 
 

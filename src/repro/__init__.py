@@ -39,6 +39,7 @@ from repro.features import render_table1, render_table2, render_table3
 from repro.runtime import ExecContext, ThreadExplosionError, run_program
 from repro.sim import CostModel, Machine
 from repro.sim.machine import PAPER_MACHINE
+from repro.sweep import ResultCache, run_sweep
 
 __version__ = "1.0.0"
 
@@ -48,6 +49,7 @@ __all__ = [
     "ExecContext",
     "Machine",
     "PAPER_MACHINE",
+    "ResultCache",
     "ThreadExplosionError",
     "WORKLOADS",
     "check_claim",
@@ -60,6 +62,7 @@ __all__ = [
     "run_all_claims",
     "run_experiment",
     "run_program",
+    "run_sweep",
     "summary_line",
     "__version__",
 ]

@@ -15,7 +15,11 @@ Commands mirror the paper's artifacts:
   differential runtime oracle, random-program property suite);
 - ``trace``        — run one workload/version with the observability
   layer on: bottleneck attribution on stdout, Chrome ``trace_event``
-  JSON (Perfetto-loadable) and per-run metrics JSON on request.
+  JSON (Perfetto-loadable) and per-run metrics JSON on request;
+- ``sweep``        — run one workload's full sweep through the parallel
+  executor with content-addressed result caching (``--jobs N``
+  fans cells out across processes; a second invocation replays
+  cached cells without simulating).
 
 Exit codes: 0 success, 1 failed checks (claims/validate), 2 bad input
 (unknown workload or model name).
@@ -63,6 +67,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-run metrics/attribution JSON path")
     tr.add_argument("--gantt", action="store_true", help="print the ASCII timeline")
     tr.add_argument("--full", action="store_true", help="paper-scale parameters")
+
+    swp = sub.add_parser(
+        "sweep", help="parallel cached sweep of one workload's full matrix"
+    )
+    swp.add_argument("workload", help="workload name (axpy, sum, ..., srad)")
+    swp.add_argument("--threads", type=int, nargs="+", default=None)
+    swp.add_argument("--jobs", "-j", type=int, default=1,
+                     help="worker processes (1 = in-process serial execution)")
+    swp.add_argument("--cache-dir", default=None,
+                     help="result cache directory (default benchmarks/out/cache)")
+    swp.add_argument("--no-cache", action="store_true",
+                     help="disable the result cache entirely")
+    swp.add_argument("--refresh", action="store_true",
+                     help="ignore cached entries: re-simulate and overwrite")
+    swp.add_argument("--cache-max-entries", type=int, default=None,
+                     help="evict least-recently-written entries beyond this bound")
+    swp.add_argument("--full", action="store_true", help="paper-scale parameters")
+    swp.add_argument("--chart", action="store_true", help="include the ASCII chart")
+    swp.add_argument("--metrics-out", default=None,
+                     help="write sweep accounting JSON (counters, wall time)")
+    swp.add_argument("--quiet", "-q", action="store_true",
+                     help="suppress per-cell progress on stderr")
 
     cmp_p = sub.add_parser("compare", help="feature comparison of models")
     cmp_p.add_argument("models", nargs="+", help="model names (e.g. openmp cilk tbb)")
@@ -198,6 +224,62 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.experiment import PAPER_THREADS
+    from repro.core.registry import get_workload
+    from repro.core.report import render_sweep
+    from repro.obs.export import write_sweep_metrics
+    from repro.sweep import DEFAULT_CACHE_DIR, ResultCache, run_sweep
+
+    spec = get_workload(args.workload)
+    params = dict(spec.paper_params if args.full else spec.default_params)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(
+            args.cache_dir or DEFAULT_CACHE_DIR, max_entries=args.cache_max_entries
+        )
+
+    def progress(done: int, total: int, cell, status: str) -> None:
+        if args.quiet:
+            return
+        print(
+            f"\r[{done}/{total}] {cell.describe():<32} {status:<6}",
+            end="" if done < total else "\n",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    t0 = time.monotonic()
+    sweep = run_sweep(
+        args.workload,
+        threads=tuple(args.threads) if args.threads else PAPER_THREADS,
+        params=params,
+        jobs=args.jobs,
+        cache=cache,
+        refresh=args.refresh,
+        progress=progress,
+    )
+    wall = time.monotonic() - t0
+    print(render_sweep(sweep, chart=args.chart))
+    hits, misses = sweep.counter("cache_hits"), sweep.counter("cache_misses")
+    print(
+        f"\nsweep: {len(sweep.versions) * len(sweep.threads)} cells in {wall:.3f}s "
+        f"(jobs={args.jobs}, simulated={sweep.counter('simulations')}, "
+        f"cache hits={hits} misses={misses} "
+        f"evictions={sweep.counter('cache_evictions')})"
+    )
+    if cache is not None:
+        print(f"cache: {cache.root}")
+    if args.metrics_out:
+        out = write_sweep_metrics(
+            args.metrics_out, sweep, wall_seconds=wall, jobs=args.jobs
+        )
+        print(f"wrote sweep metrics to {out}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.features import compare
 
@@ -264,6 +346,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_figure(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "microbench":

@@ -50,17 +50,23 @@ class Claim:
 
 
 class SweepCache:
-    """Runs and memoizes sweeps so claims over one figure share work."""
+    """Runs and memoizes sweeps so claims over one figure share work.
 
-    def __init__(self, ctx: Optional[ExecContext] = None) -> None:
+    ``jobs`` fans each sweep's cells out over worker processes through
+    the :mod:`repro.sweep` executor (results are bit-identical to
+    serial runs, so claim verdicts cannot depend on it).
+    """
+
+    def __init__(self, ctx: Optional[ExecContext] = None, jobs: int = 1) -> None:
         self.ctx = ctx or ExecContext()
+        self.jobs = jobs
         self._cache: dict[str, SweepResult] = {}
 
     def sweep(self, workload: str, **params) -> SweepResult:
         key = workload + repr(sorted(params.items()))
         if key not in self._cache:
             self._cache[key] = run_experiment(
-                workload, threads=_THREADS, ctx=self.ctx, **params
+                workload, threads=_THREADS, ctx=self.ctx, jobs=self.jobs, **params
             )
         return self._cache[key]
 
@@ -306,7 +312,9 @@ def check_claim(claim_id: str, cache: Optional[SweepCache] = None) -> ClaimResul
     return ClaimResult(claim.claim_id, claim.figure, claim.paper_says, passed, details)
 
 
-def run_all_claims(ctx: Optional[ExecContext] = None) -> list[ClaimResult]:
+def run_all_claims(
+    ctx: Optional[ExecContext] = None, jobs: int = 1
+) -> list[ClaimResult]:
     """Check every claim, sharing sweeps through one cache."""
-    cache = SweepCache(ctx)
+    cache = SweepCache(ctx, jobs=jobs)
     return [check_claim(c.claim_id, cache) for c in ALL_CLAIMS]

@@ -11,9 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence
 
-from repro.core.registry import get_workload
-from repro.runtime.base import ExecContext, ThreadExplosionError
-from repro.runtime.run import run_program
+from repro.runtime.base import ExecContext
 from repro.sim.trace import SimResult
 
 __all__ = ["PAPER_THREADS", "ExperimentConfig", "SweepResult", "run_experiment"]
@@ -34,13 +32,20 @@ class ExperimentConfig:
 
 @dataclass
 class SweepResult:
-    """Times for every (version, thread count) of one workload."""
+    """Times for every (version, thread count) of one workload.
+
+    ``metrics`` holds the :class:`~repro.obs.metrics.MetricsRegistry`
+    the sweep executor accounted into (cache hits/misses, simulation
+    counts, and the merged per-run metrics); it is ``None`` only for
+    results rebuilt from the lossy serialized form.
+    """
 
     config: ExperimentConfig
     figure: str
     series: dict[str, list[Optional[float]]] = field(default_factory=dict)
     results: dict[tuple[str, int], SimResult] = field(default_factory=dict)
     errors: dict[tuple[str, int], str] = field(default_factory=dict)
+    metrics: Optional[Any] = None
 
     @property
     def workload(self) -> str:
@@ -65,42 +70,55 @@ class SweepResult:
         """Time series across threads (None where the run errored)."""
         return self.series[version]
 
+    def counter(self, name: str) -> int:
+        """Value of one executor accounting counter (0 when unmetered)."""
+        if self.metrics is None:
+            return 0
+        c = self.metrics.counters.get(name)
+        return c.value if c is not None else 0
+
 
 def run_experiment(
     workload: str,
     versions: Optional[Sequence[str]] = None,
     threads: Sequence[int] = PAPER_THREADS,
     ctx: Optional[ExecContext] = None,
+    jobs: int = 1,
+    cache: Any = None,
+    refresh: bool = False,
+    trace: bool = False,
+    validate: bool = False,
     **params: Any,
 ) -> SweepResult:
     """Run one figure's sweep and return all series.
 
-    A :class:`ThreadExplosionError` (the C++11 fib hang) is recorded in
-    ``errors`` instead of propagating, so the sweep can report it the
-    way the paper does.
+    Every sweep routes through the :mod:`repro.sweep` executor:
+
+    - ``jobs``   — worker processes (1 = in-process serial execution);
+    - ``cache``  — ``True`` / a directory / a
+      :class:`~repro.sweep.cache.ResultCache` memoizes completed cells
+      on disk, so re-running a figure only simulates changed cells;
+    - ``refresh`` — ignore (and overwrite) existing cache entries;
+    - ``trace``  — attach the observability tracer to every run;
+    - ``validate`` — run the invariant audit on every simulated run.
+
+    Serial, parallel and cached executions are bit-identical.  A
+    :class:`~repro.runtime.base.ThreadExplosionError` (the C++11 fib
+    hang) is recorded in ``errors`` instead of propagating, so the
+    sweep can report it the way the paper does.
     """
-    spec = get_workload(workload)
-    if versions is None:
-        versions = spec.versions
-    else:
-        versions = tuple(versions)
-        for v in versions:
-            if v not in spec.versions:
-                raise ValueError(f"{workload} has no version {v!r}")
-    ctx = ctx or ExecContext()
-    config = ExperimentConfig(workload, tuple(versions), tuple(threads), dict(params))
-    sweep = SweepResult(config=config, figure=spec.figure)
-    for version in versions:
-        row: list[Optional[float]] = []
-        for p in config.threads:
-            try:
-                prog = spec.build(version, ctx.machine, **params)
-                res = run_program(prog, p, ctx, version)
-            except ThreadExplosionError as exc:
-                sweep.errors[(version, p)] = str(exc)
-                row.append(None)
-                continue
-            sweep.results[(version, p)] = res
-            row.append(res.time)
-        sweep.series[version] = row
-    return sweep
+    # imported lazily: repro.sweep builds on this module's dataclasses
+    from repro.sweep.executor import run_sweep
+
+    return run_sweep(
+        workload,
+        versions,
+        threads,
+        ctx,
+        params=params,
+        jobs=jobs,
+        cache=cache,
+        refresh=refresh,
+        trace=trace,
+        validate=validate,
+    )

@@ -4,6 +4,15 @@ Sweeps are deterministic, but regenerating a full paper-scale figure
 takes minutes; serializing lets tooling (plotters, CI trend checks)
 consume results without rerunning the simulator, and lets two builds
 be diffed for regressions.
+
+Two fidelities share one reader:
+
+- **format 1** (default) — lossy-but-sufficient: config, figure, time
+  series, errors, and per-run summary statistics;
+- **format 2** (``full=True``) — every run encoded through the
+  :mod:`repro.sweep.codec`, so per-region worker stats, executor meta
+  and (when present) full traces survive the round trip bit-exactly —
+  the same payloads the sweep executor's result cache stores.
 """
 
 from __future__ import annotations
@@ -17,22 +26,28 @@ from repro.sim.trace import SimResult
 __all__ = ["sweep_to_dict", "sweep_from_dict", "dump_sweep", "load_sweep"]
 
 _FORMAT_VERSION = 1
+_FULL_FORMAT_VERSION = 2
 
 
-def sweep_to_dict(sweep: SweepResult) -> dict[str, Any]:
-    """Lossy-but-sufficient dict form: config, figure, times, errors,
-    and per-run summary statistics (not full per-worker traces)."""
+def sweep_to_dict(sweep: SweepResult, *, full: bool = False) -> dict[str, Any]:
+    """Dict form of a sweep: summary statistics by default, full
+    codec-encoded runs (including traces) with ``full=True``."""
     runs = {}
     for (version, p), res in sweep.results.items():
-        runs[f"{version}@{p}"] = {
-            "time": res.time,
-            "busy": res.total_busy,
-            "overhead": res.total_overhead,
-            "tasks": res.total_tasks,
-            "steals": res.total_steals,
-        }
+        if full:
+            from repro.sweep.codec import result_to_dict
+
+            runs[f"{version}@{p}"] = result_to_dict(res)
+        else:
+            runs[f"{version}@{p}"] = {
+                "time": res.time,
+                "busy": res.total_busy,
+                "overhead": res.total_overhead,
+                "tasks": res.total_tasks,
+                "steals": res.total_steals,
+            }
     return {
-        "format": _FORMAT_VERSION,
+        "format": _FULL_FORMAT_VERSION if full else _FORMAT_VERSION,
         "workload": sweep.workload,
         "figure": sweep.figure,
         "versions": list(sweep.versions),
@@ -45,9 +60,11 @@ def sweep_to_dict(sweep: SweepResult) -> dict[str, Any]:
 
 
 def sweep_from_dict(data: dict[str, Any]) -> SweepResult:
-    """Rebuild a :class:`SweepResult` (summary statistics only)."""
-    if data.get("format") != _FORMAT_VERSION:
-        raise ValueError(f"unsupported sweep format {data.get('format')!r}")
+    """Rebuild a :class:`SweepResult` from either format (summary
+    statistics for format 1, full results for format 2)."""
+    fmt = data.get("format")
+    if fmt not in (_FORMAT_VERSION, _FULL_FORMAT_VERSION):
+        raise ValueError(f"unsupported sweep format {fmt!r}")
     config = ExperimentConfig(
         workload=data["workload"],
         versions=tuple(data["versions"]),
@@ -61,23 +78,28 @@ def sweep_from_dict(data: dict[str, Any]) -> SweepResult:
         sweep.errors[(version, int(p))] = msg
     for key, run in data["runs"].items():
         version, p = key.rsplit("@", 1)
-        sweep.results[(version, int(p))] = SimResult(
-            program=data["workload"],
-            version=version,
-            nthreads=int(p),
-            time=run["time"],
-            regions=[],
-        )
+        if fmt == _FULL_FORMAT_VERSION:
+            from repro.sweep.codec import result_from_dict
+
+            sweep.results[(version, int(p))] = result_from_dict(run)
+        else:
+            sweep.results[(version, int(p))] = SimResult(
+                program=data["workload"],
+                version=version,
+                nthreads=int(p),
+                time=run["time"],
+                regions=[],
+            )
     return sweep
 
 
-def dump_sweep(sweep: SweepResult, path: str) -> None:
+def dump_sweep(sweep: SweepResult, path: str, *, full: bool = False) -> None:
     """Write a sweep to a JSON file."""
     with open(path, "w") as fh:
-        json.dump(sweep_to_dict(sweep), fh, indent=1)
+        json.dump(sweep_to_dict(sweep, full=full), fh, indent=1)
 
 
 def load_sweep(path: str) -> SweepResult:
-    """Read a sweep from a JSON file."""
+    """Read a sweep from a JSON file (either format)."""
     with open(path) as fh:
         return sweep_from_dict(json.load(fh))

@@ -33,7 +33,9 @@ __all__ = [
     "write_chrome_trace",
     "render_timeline",
     "metrics_payload",
+    "sweep_metrics_payload",
     "write_metrics",
+    "write_sweep_metrics",
 ]
 
 #: tid offset for per-lock tracks so they sort after worker rows.
@@ -222,4 +224,54 @@ def write_metrics(
     out = pathlib.Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(metrics_payload(result, tracer=tracer, extra=extra), indent=1) + "\n")
+    return out
+
+
+def sweep_metrics_payload(
+    sweep: Any,
+    *,
+    wall_seconds: Optional[float] = None,
+    jobs: Optional[int] = None,
+    extra: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """JSON-ready accounting of one sweep execution.
+
+    Combines the sweep's identity (workload, versions, thread counts)
+    with the executor's :class:`~repro.obs.metrics.MetricsRegistry`
+    snapshot — cache hit/miss/store/eviction and simulation counters
+    plus the merged per-run metrics — and, when given, the wall-clock
+    duration and worker count.  The CI cache-effectiveness smoke job
+    consumes exactly this document.
+    """
+    payload: dict[str, Any] = {
+        "workload": sweep.workload,
+        "figure": sweep.figure,
+        "versions": list(sweep.versions),
+        "threads": list(sweep.threads),
+        "cells": len(sweep.versions) * len(sweep.threads),
+        "errors": len(sweep.errors),
+        "metrics": sweep.metrics.to_dict() if sweep.metrics is not None else {},
+    }
+    if wall_seconds is not None:
+        payload["wall_seconds"] = float(wall_seconds)
+    if jobs is not None:
+        payload["jobs"] = int(jobs)
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_sweep_metrics(
+    path: Union[str, pathlib.Path],
+    sweep: Any,
+    *,
+    wall_seconds: Optional[float] = None,
+    jobs: Optional[int] = None,
+    extra: Optional[dict[str, Any]] = None,
+) -> pathlib.Path:
+    """Write the sweep accounting JSON, creating missing directories."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    doc = sweep_metrics_payload(sweep, wall_seconds=wall_seconds, jobs=jobs, extra=extra)
+    out.write_text(json.dumps(doc, indent=1) + "\n")
     return out

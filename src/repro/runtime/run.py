@@ -125,6 +125,7 @@ def run_program(
     version: str = "",
     validate: bool = False,
     trace=None,
+    metrics=None,
 ) -> SimResult:
     """Execute all regions of ``program`` in order at ``nthreads``.
 
@@ -141,6 +142,12 @@ def run_program(
     :class:`SimResult` as ``result.trace``.  With ``trace=None`` (the
     default) no per-event state exists anywhere — the executors see
     ``tracer=None`` and skip every emission with a single branch.
+
+    ``metrics`` accepts a :class:`~repro.obs.metrics.MetricsRegistry`
+    into which this run's standard metrics
+    (:func:`~repro.obs.metrics.result_metrics`) are merged — the sweep
+    executor passes its per-sweep registry here so serial sweeps
+    account every run without a second pass over the regions.
     """
     if nthreads <= 0:
         raise ValueError("nthreads must be positive")
@@ -149,6 +156,9 @@ def run_program(
         from repro.obs.tracer import Tracer
 
         tracer = Tracer()
+    elif not tracer:
+        # accept trace=False (and other falsy flags) as "no tracing"
+        tracer = None
     regions = []
     total = 0.0
     if program.meta.get("pool_setup"):
@@ -178,4 +188,8 @@ def run_program(
             from repro.validate.invariants import check_trace
 
             check_trace(tracer, horizon=total).raise_if_failed()
+    if metrics is not None:
+        from repro.obs.metrics import result_metrics
+
+        metrics.merge(result_metrics(result))
     return result

@@ -1,0 +1,32 @@
+"""Sweep execution: parallel fan-out plus content-addressed caching.
+
+The paper's artifact is a large cross-product of simulated runs —
+every workload x model version x thread count.  This subsystem makes
+that matrix fast to (re)produce without weakening determinism:
+
+- :mod:`repro.sweep.cells` — matrix expansion into independent cells;
+- :mod:`repro.sweep.codec` — full-fidelity JSON round-trip of results
+  and traces (bit-exact floats);
+- :mod:`repro.sweep.cache` — content-addressed on-disk memoization of
+  completed cells with atomic write-then-rename publication;
+- :mod:`repro.sweep.executor` — :func:`run_sweep`, fanning cells out
+  across OS processes with cache write-through and metrics counters.
+
+The determinism contract: for any sweep, serial execution, ``jobs=N``
+parallel execution and cache-hit replay produce bit-identical times,
+worker statistics and trace event streams.  ``tests/test_golden_traces.py``
+pins that contract to committed golden traces.
+"""
+
+from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
+from repro.sweep.cells import SweepCell, expand_cells
+from repro.sweep.executor import run_sweep
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "SweepCell",
+    "cache_key",
+    "expand_cells",
+    "run_sweep",
+]

@@ -1,0 +1,208 @@
+"""Content-addressed on-disk cache for completed sweep cells.
+
+Every completed cell of an experiment sweep is memoized under a key
+that is a SHA-256 over *everything that determines the simulation's
+output*:
+
+- the workload name, version, thread count and workload parameters;
+- the full machine configuration (topology, clocks, bandwidths, NUMA
+  and SMT factors, placement);
+- every cost-model constant;
+- the execution context's seed, thread cap and event budget;
+- whether the run was traced (traced and untraced entries differ in
+  payload, so they address different entries);
+- the code-relevant package version and the cache format version.
+
+Because the simulator is deterministic, two runs with equal keys are
+bit-identical — so replaying an entry is indistinguishable from
+re-simulating it, and any change to any input (a cost constant, a
+machine parameter, a package upgrade) silently invalidates exactly the
+affected cells and nothing else.
+
+Concurrency: entries are written atomically (write to a unique
+temporary file in the cache directory, then ``os.replace``), so any
+number of executors — threads or processes — may share one cache
+directory; readers only ever observe absent or complete entries, and
+concurrent writers of the same key converge on identical content.
+Unreadable or truncated entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import pathlib
+import threading
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+from repro.runtime.base import ExecContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.cells import SweepCell
+
+__all__ = ["DEFAULT_CACHE_DIR", "KEY_FORMAT", "ResultCache", "cache_key"]
+
+#: Where `repro sweep` and the benchmark harness keep their entries.
+DEFAULT_CACHE_DIR = pathlib.Path("benchmarks") / "out" / "cache"
+
+#: Bump to invalidate every existing entry (cache payload layout change).
+KEY_FORMAT = 1
+
+_tmp_counter = itertools.count()
+
+
+def _key_document(cell: "SweepCell", ctx: ExecContext, trace: bool) -> dict[str, Any]:
+    """The canonical key inputs, as a JSON-able document."""
+    from repro import __version__
+
+    return {
+        "format": KEY_FORMAT,
+        "package": __version__,
+        "workload": cell.workload,
+        "version": cell.version,
+        "nthreads": int(cell.nthreads),
+        "params": {str(k): cell.params[k] for k in sorted(cell.params)},
+        "machine": asdict(ctx.machine),
+        "costs": asdict(ctx.costs),
+        "seed": ctx.seed,
+        "max_events": ctx.max_events,
+        "thread_cap": ctx.thread_cap,
+        "trace": bool(trace),
+    }
+
+
+def cache_key(cell: "SweepCell", ctx: ExecContext, *, trace: bool = False) -> str:
+    """Stable content address of one sweep cell under one context.
+
+    The key is a SHA-256 hex digest of the canonical (sorted-keys,
+    no-whitespace) JSON encoding of :func:`_key_document`, so it is
+    independent of dict insertion order, of ``PYTHONHASHSEED``, and of
+    the process that computes it.
+    """
+    blob = json.dumps(
+        _key_document(cell, ctx, trace), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed cell payloads (one JSON file each).
+
+    ``max_entries`` bounds the cache size; :meth:`prune` (called by the
+    executor after every sweep when a bound is set) evicts the
+    least-recently-modified entries beyond the bound and reports how
+    many it removed.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike] = DEFAULT_CACHE_DIR,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.root = pathlib.Path(root)
+        self.max_entries = max_entries
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # entry IO
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        """Return the payload stored under ``key``, or ``None``.
+
+        Missing, truncated, or otherwise unreadable entries are all
+        misses: a crashed writer can at worst leave a stale ``*.tmp``
+        file behind, never a half-visible entry.
+        """
+        try:
+            text = self.path_for(key).read_text()
+            return json.loads(text)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: dict[str, Any]) -> pathlib.Path:
+        """Atomically store ``payload`` under ``key`` (write-then-rename).
+
+        The temporary name is unique per (process, thread, call), so
+        concurrent writers never collide on the staging file, and
+        ``os.replace`` makes publication atomic on POSIX and Windows.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        final = self.path_for(key)
+        tmp = final.with_name(
+            f".{key}.{os.getpid()}.{threading.get_ident()}.{next(_tmp_counter)}.tmp"
+        )
+        try:
+            tmp.write_text(json.dumps(payload, separators=(",", ":")) + "\n")
+            os.replace(tmp, final)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+        return final
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def keys(self) -> list[str]:
+        """Keys of all complete entries currently on disk."""
+        try:
+            names = list(self.root.iterdir())
+        except OSError:
+            return []
+        return sorted(
+            p.stem for p in names if p.suffix == ".json" and not p.name.startswith(".")
+        )
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def prune(self, max_entries: Optional[int] = None) -> int:
+        """Evict least-recently-modified entries beyond the bound.
+
+        Returns the number of entries removed (0 when unbounded or
+        already within bounds).  Entries that vanish mid-prune (another
+        executor pruning the same directory) are counted by whoever
+        actually unlinked them.
+        """
+        bound = max_entries if max_entries is not None else self.max_entries
+        if bound is None:
+            return 0
+        entries = []
+        for key in self.keys():
+            path = self.path_for(key)
+            try:
+                entries.append((path.stat().st_mtime_ns, str(path)))
+            except OSError:
+                continue
+        entries.sort(reverse=True)  # newest first
+        evicted = 0
+        for _mtime, path in entries[bound:]:
+            try:
+                os.unlink(path)
+                evicted += 1
+            except OSError:
+                continue
+        return evicted
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for key in self.keys():
+            try:
+                os.unlink(self.path_for(key))
+                removed += 1
+            except OSError:
+                continue
+        return removed

@@ -1,0 +1,53 @@
+"""Sweep cells: the unit of work of a parallel experiment sweep.
+
+An experiment matrix (workload x version x thread count x params)
+expands into independent :class:`SweepCell` instances.  Cells are
+self-contained and order-free: each one names everything needed to
+simulate it, so the executor can fan them out across OS processes,
+replay them from the content-addressed cache, or run them serially —
+in any order — and still assemble the exact :class:`SweepResult` the
+old serial loop produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports sweep lazily)
+    from repro.core.experiment import ExperimentConfig
+
+__all__ = ["SweepCell", "expand_cells"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (workload, version, thread count, params) point of a sweep."""
+
+    workload: str
+    version: str
+    nthreads: int
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """The cell's slot in ``SweepResult.results`` / ``.errors``."""
+        return (self.version, self.nthreads)
+
+    def describe(self) -> str:
+        return f"{self.workload}/{self.version} p={self.nthreads}"
+
+
+def expand_cells(config: "ExperimentConfig") -> list[SweepCell]:
+    """Expand a sweep config into its independent cells.
+
+    The order (versions outer, thread counts inner) matches the legacy
+    serial loop of ``run_experiment``; the executor may *complete* cells
+    in any order but reports progress in this canonical one.
+    """
+    params = dict(config.params)
+    return [
+        SweepCell(config.workload, version, p, dict(params))
+        for version in config.versions
+        for p in config.threads
+    ]

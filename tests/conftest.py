@@ -9,6 +9,22 @@ from repro.sim.costs import CostModel
 from repro.sim.machine import PAPER_MACHINE, Machine
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the committed golden traces under tests/goldens/ "
+        "from the current simulator output instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    """True when the run should regenerate golden files, not assert them."""
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture
 def machine() -> Machine:
     """The paper's two-socket Xeon."""

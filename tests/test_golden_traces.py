@@ -1,0 +1,144 @@
+"""Golden-trace regression suite.
+
+Committed golden JSON traces (``tests/goldens/``) pin the simulator's
+*exact* event streams — span intervals, instants, engine events, lock
+grants — and final times for small axpy and fib runs at p in {1, 4}.
+Three execution paths must reproduce each golden bit-for-bit:
+
+1. a direct serial :func:`~repro.runtime.run.run_program` call;
+2. a ``jobs=N`` parallel sweep (results cross a process + JSON codec
+   boundary);
+3. a cache-hit replay (results decoded from the content-addressed
+   on-disk cache without simulating).
+
+This is the enforcement arm of the sweep subsystem's determinism
+contract: if a scheduler, cost-model or codec change alters even one
+event timestamp, all three paths fail here together — and if only the
+parallel or cached path drifts, the diff points straight at the
+executor/codec layer.
+
+Regenerate intentionally-changed goldens with::
+
+    pytest tests/test_golden_traces.py --update-goldens
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.registry import get_workload
+from repro.runtime.base import ExecContext
+from repro.runtime.run import run_program
+from repro.sweep import run_sweep
+from repro.sweep.codec import tracer_to_dict
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+#: (workload, version, params, nthreads) — small enough to commit, rich
+#: enough to cover a worksharing loop (axpy) and a work-stealing task
+#: tree with engine events and lock grants (fib).
+CASES = [
+    ("axpy", "omp_for", {"n": 120_000}, 1),
+    ("axpy", "omp_for", {"n": 120_000}, 4),
+    ("fib", "cilk_spawn", {"n": 10}, 1),
+    ("fib", "cilk_spawn", {"n": 10}, 4),
+]
+
+CASE_IDS = [f"{w}-{v}-p{p}" for w, v, params, p in CASES]
+
+
+def golden_path(workload: str, version: str, nthreads: int) -> pathlib.Path:
+    return GOLDEN_DIR / f"{workload}_{version}_p{nthreads}.json"
+
+
+def serial_payload(workload: str, version: str, params: dict, nthreads: int) -> dict:
+    """Golden document for one cell: final time + full trace streams."""
+    ctx = ExecContext()
+    spec = get_workload(workload)
+    program = spec.build(version, ctx.machine, **params)
+    res = run_program(program, nthreads, ctx, version, trace=True)
+    return {
+        "workload": workload,
+        "version": version,
+        "nthreads": nthreads,
+        "params": dict(params),
+        "time": res.time,
+        "trace": tracer_to_dict(res.trace),
+    }
+
+
+def load_golden(workload: str, version: str, nthreads: int) -> dict:
+    path = golden_path(workload, version, nthreads)
+    if not path.exists():
+        pytest.fail(
+            f"missing golden {path}; generate with "
+            "`pytest tests/test_golden_traces.py --update-goldens`"
+        )
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("workload,version,params,nthreads", CASES, ids=CASE_IDS)
+def test_serial_run_matches_golden(workload, version, params, nthreads, update_goldens):
+    payload = serial_payload(workload, version, params, nthreads)
+    path = golden_path(workload, version, nthreads)
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"updated {path.name}")
+    golden = load_golden(workload, version, nthreads)
+    # JSON round-trips floats exactly, so this is bit-level equality of
+    # every timestamp, not an approximate comparison.
+    assert payload == golden
+
+
+@pytest.mark.parametrize(
+    "workload,version,params",
+    [("axpy", "omp_for", {"n": 120_000}), ("fib", "cilk_spawn", {"n": 10})],
+    ids=["axpy", "fib"],
+)
+def test_parallel_sweep_matches_golden(workload, version, params, update_goldens):
+    if update_goldens:
+        pytest.skip("golden update run")
+    sweep = run_sweep(
+        workload, versions=[version], threads=(1, 4), params=params, jobs=2, trace=True
+    )
+    for p in (1, 4):
+        golden = load_golden(workload, version, p)
+        res = sweep.results[(version, p)]
+        assert res.time == golden["time"]
+        assert tracer_to_dict(res.trace) == golden["trace"]
+
+
+@pytest.mark.parametrize(
+    "workload,version,params",
+    [("axpy", "omp_for", {"n": 120_000}), ("fib", "cilk_spawn", {"n": 10})],
+    ids=["axpy", "fib"],
+)
+def test_cache_replay_matches_golden(workload, version, params, tmp_path, update_goldens):
+    if update_goldens:
+        pytest.skip("golden update run")
+    kwargs = dict(
+        versions=[version], threads=(1, 4), params=params, cache=tmp_path, trace=True
+    )
+    first = run_sweep(workload, **kwargs)
+    assert first.counter("simulations") == 2
+    replay = run_sweep(workload, **kwargs)
+    assert replay.counter("simulations") == 0
+    assert replay.counter("cache_hits") == 2
+    for p in (1, 4):
+        golden = load_golden(workload, version, p)
+        res = replay.results[(version, p)]
+        assert res.time == golden["time"]
+        assert tracer_to_dict(res.trace) == golden["trace"]
+
+
+def test_goldens_cover_engine_events():
+    """The committed fib goldens must actually exercise the engine's
+    event stream (an empty stream would make the suite vacuous)."""
+    golden = load_golden("fib", "cilk_spawn", 4)
+    assert len(golden["trace"]["engine_events"]) > 100
+    assert len(golden["trace"]["spans"]) > 100
+    assert golden["trace"]["lock_events"]

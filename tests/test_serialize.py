@@ -54,3 +54,53 @@ class TestRoundTrip:
         d["format"] = 99
         with pytest.raises(ValueError, match="format"):
             sweep_from_dict(d)
+
+
+class TestFullFormat:
+    """format 2 (``full=True``): codec-encoded runs survive bit-exactly."""
+
+    def test_format_stamp(self, sweep):
+        assert sweep_to_dict(sweep)["format"] == 1
+        assert sweep_to_dict(sweep, full=True)["format"] == 2
+
+    def test_regions_and_worker_stats_survive(self, sweep):
+        back = sweep_from_dict(sweep_to_dict(sweep, full=True))
+        for key, res in sweep.results.items():
+            other = back.results[key]
+            assert other.time == res.time
+            assert len(other.regions) == len(res.regions)
+            for mine, theirs in zip(res.regions, other.regions):
+                assert theirs.time == mine.time
+                assert theirs.nthreads == mine.nthreads
+                assert theirs.meta == mine.meta
+                assert [w.__dict__ for w in theirs.workers] == [
+                    w.__dict__ for w in mine.workers
+                ]
+
+    def test_exact_summary_stats(self, sweep):
+        back = sweep_from_dict(sweep_to_dict(sweep, full=True))
+        for key, res in sweep.results.items():
+            other = back.results[key]
+            assert other.total_busy == res.total_busy
+            assert other.total_tasks == res.total_tasks
+            assert other.total_steals == res.total_steals
+
+    def test_trace_survives(self, tmp_path):
+        from repro.sweep.codec import tracer_to_dict
+
+        traced = run_experiment(
+            "fib", versions=["cilk_spawn"], threads=(2,), n=10, trace=True
+        )
+        path = tmp_path / "full.json"
+        dump_sweep(traced, str(path), full=True)
+        back = load_sweep(str(path))
+        res, other = traced.results[("cilk_spawn", 2)], back.results[("cilk_spawn", 2)]
+        assert other.trace is not None
+        assert tracer_to_dict(other.trace) == tracer_to_dict(res.trace)
+
+    def test_rendered_tables_match(self, sweep):
+        back = sweep_from_dict(sweep_to_dict(sweep, full=True))
+        assert figure_table(back) == figure_table(sweep)
+
+    def test_json_serializable(self, sweep):
+        json.dumps(sweep_to_dict(sweep, full=True))

@@ -1,0 +1,220 @@
+"""Property tests for the content-addressed sweep cache key and store.
+
+The cache key must be a pure function of the simulation's inputs:
+stable across process restarts and hash seeds, independent of dict
+insertion order, sensitive to every input that changes the output, and
+collision-free across the whole workload registry (checked with a
+seeded hypothesis-style randomized sweep).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.registry import WORKLOADS
+from repro.runtime.base import ExecContext
+from repro.sim.machine import Machine
+from repro.sweep import ResultCache, SweepCell, cache_key
+
+BASE_CELL = SweepCell("axpy", "omp_for", 4, {"n": 120_000})
+
+_KEY_SNIPPET = """\
+import sys
+sys.path.insert(0, {src!r})
+from repro.runtime.base import ExecContext
+from repro.sweep import SweepCell, cache_key
+cell = SweepCell("axpy", "omp_for", 4, {{"n": 120_000}})
+print(cache_key(cell, ExecContext()))
+"""
+
+
+class TestKeyStability:
+    def test_deterministic_in_process(self):
+        ctx = ExecContext()
+        assert cache_key(BASE_CELL, ctx) == cache_key(BASE_CELL, ctx)
+
+    def test_stable_across_process_restarts(self):
+        """Fresh interpreters with different hash seeds agree with us."""
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        snippet = _KEY_SNIPPET.format(src=os.path.abspath(src))
+        keys = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            out = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            keys.append(out.stdout.strip())
+        assert keys[0] == keys[1] == cache_key(BASE_CELL, ExecContext())
+
+    def test_independent_of_param_order(self):
+        ctx = ExecContext()
+        a = SweepCell("lud", "omp_for", 8, {"n": 128, "block": 32})
+        b = SweepCell("lud", "omp_for", 8, {"block": 32, "n": 128})
+        assert cache_key(a, ctx) == cache_key(b, ctx)
+
+    def test_key_is_hex_sha256(self):
+        key = cache_key(BASE_CELL, ExecContext())
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+
+class TestKeySensitivity:
+    """Changing any simulation-relevant input must change the key."""
+
+    def _base(self):
+        return cache_key(BASE_CELL, ExecContext())
+
+    def test_workload_params(self):
+        cell = SweepCell("axpy", "omp_for", 4, {"n": 120_001})
+        assert cache_key(cell, ExecContext()) != self._base()
+
+    def test_version(self):
+        cell = SweepCell("axpy", "omp_task", 4, {"n": 120_000})
+        assert cache_key(cell, ExecContext()) != self._base()
+
+    def test_threads(self):
+        cell = SweepCell("axpy", "omp_for", 8, {"n": 120_000})
+        assert cache_key(cell, ExecContext()) != self._base()
+
+    def test_machine(self):
+        ctx = ExecContext(machine=Machine(ghz=2.4))
+        assert cache_key(BASE_CELL, ctx) != self._base()
+
+    def test_cost_model(self):
+        ctx = ExecContext().with_costs(cilk_spawn=21e-9)
+        assert cache_key(BASE_CELL, ctx) != self._base()
+
+    def test_seed(self):
+        ctx = ExecContext(seed=0xBEEF)
+        assert cache_key(BASE_CELL, ctx) != self._base()
+
+    def test_thread_cap(self):
+        ctx = ExecContext(thread_cap=1024)
+        assert cache_key(BASE_CELL, ctx) != self._base()
+
+    def test_trace_flag(self):
+        ctx = ExecContext()
+        assert cache_key(BASE_CELL, ctx, trace=True) != cache_key(BASE_CELL, ctx)
+
+
+class TestNoCollisions:
+    def test_full_registry_unique(self):
+        """Every (workload, version, threads, trace) cell in the
+        registry addresses a distinct entry."""
+        ctx = ExecContext()
+        keys = set()
+        count = 0
+        for name, spec in WORKLOADS.items():
+            params = dict(spec.validation_params or spec.default_params)
+            for version in spec.versions:
+                for p in (1, 2, 4):
+                    for trace in (False, True):
+                        keys.add(
+                            cache_key(SweepCell(name, version, p, params), ctx, trace=trace)
+                        )
+                        count += 1
+        assert len(keys) == count
+
+    def test_seeded_random_sweep_unique_and_stable(self):
+        """Hypothesis-style seeded sweep: random cells never collide,
+        and recomputing any cell's key reproduces it exactly."""
+        rng = random.Random(0xC0FFEE)
+        ctx = ExecContext()
+        names = sorted(WORKLOADS)
+        seen: dict[str, tuple] = {}
+        for _ in range(300):
+            name = rng.choice(names)
+            spec = WORKLOADS[name]
+            version = rng.choice(spec.versions)
+            p = rng.randint(1, 72)
+            params = {
+                k: (v + rng.randint(0, 3) if isinstance(v, int) else v)
+                for k, v in dict(spec.validation_params or spec.default_params).items()
+            }
+            cell = SweepCell(name, version, p, params)
+            key = cache_key(cell, ctx)
+            ident = (name, version, p, tuple(sorted(params.items())))
+            if key in seen:
+                # same key must mean same cell (rng may repeat cells)
+                assert seen[key] == ident
+            seen[key] = ident
+            assert cache_key(SweepCell(name, version, p, dict(params)), ctx) == key
+
+
+class TestResultCacheStore:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = {"format": 1, "result": {"time": 0.25}}
+        key = "ab" * 32
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+        assert key in cache
+        assert cache.keys() == [key]
+
+    def test_missing_is_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("cd" * 32) is None
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, {"format": 1})
+        cache.path_for(key).write_text('{"truncated": ')
+        assert cache.get(key) is None
+
+    def test_stale_tmp_files_invisible(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / ".deadbeef.123.456.0.tmp").write_text("garbage")
+        assert cache.keys() == []
+        assert len(cache) == 0
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("12" * 32, {"format": 1})
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_prune_evicts_oldest_beyond_bound(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        for i in range(5):
+            key = f"{i:02d}" * 32
+            cache.put(key, {"format": 1, "i": i})
+            os.utime(cache.path_for(key), ns=(i * 10**9, i * 10**9))
+        evicted = cache.prune()
+        assert evicted == 3
+        assert len(cache) == 2
+        # the newest two survive
+        assert cache.get("04" * 32) is not None
+        assert cache.get("03" * 32) is not None
+
+    def test_prune_unbounded_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("77" * 32, {"format": 1})
+        assert cache.prune() == 0
+        assert len(cache) == 1
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02d}" * 32, {"format": 1})
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_rejects_bad_bound(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(tmp_path, max_entries=0)
+
+    def test_key_document_is_canonical_json(self):
+        """The hashed document itself must be JSON-canonicalizable
+        (sorted keys, scalar leaves) — the stability guarantee's root."""
+        from repro.sweep.cache import _key_document
+
+        doc = _key_document(BASE_CELL, ExecContext(), trace=False)
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        assert json.loads(blob) == doc

@@ -1,0 +1,264 @@
+"""Executor tests: serial ≡ parallel ≡ cached, and shared-cache safety.
+
+Covers the sweep subsystem's behavioural contract beyond the golden
+traces: bit-identical results across ``jobs`` settings for every
+registered workload, expected failures (``ThreadExplosionError``)
+recorded without poisoning the process pool, concurrent executors
+sharing one cache directory without corruption, corrupt entries
+repaired as misses, ``refresh`` and resume semantics, and the
+serial fallback when fork is unavailable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.registry import WORKLOADS
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.base import ExecContext
+from repro.sweep import ResultCache, run_sweep
+from repro.sweep import executor as executor_mod
+from repro.sweep.codec import result_to_dict
+
+SMALL_THREADS = (1, 4)
+
+
+def sweep_fingerprint(sweep, *, trace=False):
+    """Full-fidelity comparable form of a sweep (exact floats included)."""
+    return {
+        "series": sweep.series,
+        "errors": dict(sweep.errors),
+        "results": {
+            f"{v}-p{p}": result_to_dict(res, with_trace=trace)
+            for (v, p), res in sorted(sweep.results.items())
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# serial ≡ parallel, over the whole registry
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_parallel_matches_serial_for_every_workload(workload):
+    spec = WORKLOADS[workload]
+    params = dict(spec.validation_params or spec.default_params)
+    serial = run_sweep(workload, threads=SMALL_THREADS, params=params, jobs=1)
+    fanned = run_sweep(workload, threads=SMALL_THREADS, params=params, jobs=4)
+    assert sweep_fingerprint(serial) == sweep_fingerprint(fanned)
+
+
+def test_parallel_merges_same_metrics_as_serial():
+    serial = run_sweep("fib", versions=["cilk_spawn"], threads=SMALL_THREADS,
+                       params={"n": 10}, jobs=1)
+    fanned = run_sweep("fib", versions=["cilk_spawn"], threads=SMALL_THREADS,
+                       params={"n": 10}, jobs=2)
+    for name in ("tasks", "steals", "simulations", "sweep_cells"):
+        assert serial.counter(name) == fanned.counter(name), name
+
+
+# ---------------------------------------------------------------------------
+# expected failures don't poison the pool
+# ---------------------------------------------------------------------------
+def test_thread_explosion_recorded_not_raised_parallel():
+    sweep = run_sweep("fib", threads=SMALL_THREADS, params={"n": 22}, jobs=2)
+    # cxx_async spawns a thread per task and blows the thread cap...
+    for p in SMALL_THREADS:
+        assert ("cxx_async", p) in sweep.errors
+        assert ("cxx_async", p) not in sweep.results
+    # ...while its pool-mates complete normally in the same sweep.
+    for p in SMALL_THREADS:
+        assert ("omp_task", p) in sweep.results
+        assert ("cilk_spawn", p) in sweep.results
+    assert sweep.counter("sweep_errors") == len(SMALL_THREADS)
+    assert sweep.series["cxx_async"] == [None] * len(SMALL_THREADS)
+
+
+def test_thread_explosion_errors_identical_serial_vs_parallel():
+    kwargs = dict(threads=SMALL_THREADS, params={"n": 22})
+    serial = run_sweep("fib", jobs=1, **kwargs)
+    fanned = run_sweep("fib", jobs=2, **kwargs)
+    assert serial.errors == fanned.errors
+
+
+def test_thread_explosion_is_cached_and_replayed(tmp_path):
+    kwargs = dict(
+        versions=["cxx_async"], threads=(1,), params={"n": 22}, cache=tmp_path
+    )
+    first = run_sweep("fib", **kwargs)
+    assert first.counter("simulations") == 1
+    assert ("cxx_async", 1) in first.errors
+    replay = run_sweep("fib", **kwargs)
+    assert replay.counter("simulations") == 0
+    assert replay.counter("cache_hits") == 1
+    assert replay.errors == first.errors
+
+
+def test_unexpected_worker_crash_raises_in_parent():
+    with pytest.raises(RuntimeError, match="failed in worker"):
+        run_sweep("fib", versions=["cilk_spawn"], threads=SMALL_THREADS,
+                  params={"n": 10, "bogus_param": 1}, jobs=2)
+
+
+# ---------------------------------------------------------------------------
+# shared cache directory: concurrency and corruption
+# ---------------------------------------------------------------------------
+def test_concurrent_executors_share_cache_without_corruption(tmp_path):
+    """Two executors racing on one cache directory (same cells, so every
+    write races on the same keys) leave only complete, decodable entries
+    and agree on the results."""
+    kwargs = dict(
+        versions=["cilk_spawn", "omp_task"],
+        threads=SMALL_THREADS,
+        params={"n": 10},
+        cache=tmp_path,
+        jobs=2,
+    )
+    sweeps = [None, None]
+    errors = []
+
+    def work(slot):
+        try:
+            sweeps[slot] = run_sweep("fib", **kwargs)
+        except BaseException as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [threading.Thread(target=work, args=(slot,)) for slot in (0, 1)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert sweep_fingerprint(sweeps[0]) == sweep_fingerprint(sweeps[1])
+
+    cache = ResultCache(tmp_path)
+    keys = cache.keys()
+    assert len(keys) == 4  # 2 versions x 2 thread counts, no duplicates
+    for key in keys:
+        payload = cache.get(key)
+        assert payload is not None and payload["format"] == 1
+    # no staging files leaked by either racer
+    assert [p.name for p in tmp_path.iterdir() if p.suffix == ".tmp"] == []
+
+    # a third run is served entirely from the shared cache
+    replay = run_sweep("fib", **kwargs)
+    assert replay.counter("simulations") == 0
+    assert replay.counter("cache_hits") == 4
+    assert sweep_fingerprint(replay) == sweep_fingerprint(sweeps[0])
+
+
+def test_corrupt_entry_is_resimulated_and_repaired(tmp_path):
+    kwargs = dict(versions=["cilk_spawn"], threads=(1,), params={"n": 8},
+                  cache=tmp_path)
+    first = run_sweep("fib", **kwargs)
+    cache = ResultCache(tmp_path)
+    (key,) = cache.keys()
+    cache.path_for(key).write_text('{"format": 1, "result": ')  # truncated
+    second = run_sweep("fib", **kwargs)
+    assert second.counter("simulations") == 1
+    assert second.counter("cache_misses") == 1
+    assert sweep_fingerprint(second) == sweep_fingerprint(first)
+    # the entry was repaired in place
+    assert cache.get(key) is not None
+
+
+def test_unknown_payload_format_is_a_miss(tmp_path):
+    kwargs = dict(versions=["cilk_spawn"], threads=(1,), params={"n": 8},
+                  cache=tmp_path)
+    run_sweep("fib", **kwargs)
+    cache = ResultCache(tmp_path)
+    (key,) = cache.keys()
+    entry = cache.get(key)
+    entry["format"] = 999
+    cache.path_for(key).write_text(json.dumps(entry))
+    again = run_sweep("fib", **kwargs)
+    assert again.counter("simulations") == 1
+    assert cache.get(key)["format"] == 1
+
+
+# ---------------------------------------------------------------------------
+# refresh / resume / eviction
+# ---------------------------------------------------------------------------
+def test_refresh_resimulates_everything(tmp_path):
+    kwargs = dict(versions=["cilk_spawn"], threads=SMALL_THREADS,
+                  params={"n": 8}, cache=tmp_path)
+    first = run_sweep("fib", **kwargs)
+    assert first.counter("simulations") == 2
+    refreshed = run_sweep("fib", refresh=True, **kwargs)
+    assert refreshed.counter("simulations") == 2
+    assert refreshed.counter("cache_hits") == 0
+    assert sweep_fingerprint(refreshed) == sweep_fingerprint(first)
+
+
+def test_resume_simulates_only_missing_cells(tmp_path):
+    kwargs = dict(versions=["cilk_spawn", "omp_task"], threads=SMALL_THREADS,
+                  params={"n": 8}, cache=tmp_path)
+    first = run_sweep("fib", **kwargs)
+    assert first.counter("simulations") == 4
+    cache = ResultCache(tmp_path)
+    victim = cache.keys()[0]
+    cache.path_for(victim).unlink()  # an "interrupted" sweep left a hole
+    resumed = run_sweep("fib", **kwargs)
+    assert resumed.counter("simulations") == 1
+    assert resumed.counter("cache_hits") == 3
+    assert sweep_fingerprint(resumed) == sweep_fingerprint(first)
+
+
+def test_bounded_cache_evicts_and_counts(tmp_path):
+    store = ResultCache(tmp_path, max_entries=2)
+    sweep = run_sweep("fib", versions=["cilk_spawn", "omp_task"],
+                      threads=SMALL_THREADS, params={"n": 8}, cache=store)
+    assert sweep.counter("cache_stores") == 4
+    assert sweep.counter("cache_evictions") == 2
+    assert len(store) == 2
+
+
+# ---------------------------------------------------------------------------
+# executor plumbing
+# ---------------------------------------------------------------------------
+def test_serial_fallback_when_fork_unavailable(monkeypatch):
+    """jobs>1 on a fork-less platform degrades to the serial path, which
+    resolves run_program through the executor module (the patch point)."""
+    monkeypatch.setattr(executor_mod, "_pool_context", lambda: None)
+    calls = []
+    real_run_program = executor_mod.run_program
+
+    def spying(*args, **kwargs):
+        calls.append(args)
+        return real_run_program(*args, **kwargs)
+
+    monkeypatch.setattr(executor_mod, "run_program", spying)
+    sweep = run_sweep("fib", versions=["cilk_spawn"], threads=SMALL_THREADS,
+                      params={"n": 8}, jobs=4)
+    assert len(calls) == 2  # every cell went through the serial path
+    assert set(sweep.results) == {("cilk_spawn", 1), ("cilk_spawn", 4)}
+
+
+def test_rejects_unknown_version():
+    with pytest.raises(ValueError, match="no version"):
+        run_sweep("fib", versions=["cxx_thread"], threads=(1,), params={"n": 8})
+
+
+def test_progress_callback_sees_every_cell(tmp_path):
+    seen = []
+    kwargs = dict(versions=["cilk_spawn"], threads=SMALL_THREADS,
+                  params={"n": 8}, cache=tmp_path,
+                  progress=lambda done, total, cell, status:
+                      seen.append((done, total, cell.key, status)))
+    run_sweep("fib", **kwargs)
+    assert [s[3] for s in seen] == ["run", "run"]
+    assert [s[:2] for s in seen] == [(1, 2), (2, 2)]
+    seen.clear()
+    run_sweep("fib", **kwargs)
+    assert [s[3] for s in seen] == ["hit", "hit"]
+
+
+def test_explicit_metrics_registry_is_used_and_attached():
+    reg = MetricsRegistry()
+    sweep = run_sweep("fib", versions=["cilk_spawn"], threads=(1,),
+                      params={"n": 8}, metrics=reg)
+    assert sweep.metrics is reg
+    assert reg.counter("sweep_cells").value == 1
+    assert reg.counter("simulations").value == 1
