@@ -9,7 +9,6 @@ execution a THE deque (and Cilk's cheap spawn) should collapse the gap
 from conftest import run_once
 
 from repro.kernels import fib
-from repro.runtime.base import ExecContext
 from repro.runtime.workstealing import run_stealing_graph
 
 N = 20

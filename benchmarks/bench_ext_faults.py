@@ -1,0 +1,112 @@
+"""Extension: the price of error handling (Table III, executable).
+
+The paper's Table III reduces error handling to a yes/no column.  This
+benchmark runs the same deterministic task failure through every
+model's demo (:mod:`repro.faults.demos`) and quantifies what the column
+actually buys: a cancelling runtime (``omp cancel``, TBB poisoning,
+``pthread_cancel``) stops issuing work at the failure and strands only
+the chunks already in flight, while the "x" models (CUDA, OpenACC,
+Cilk's data-parallel loop) run the whole kernel to completion and
+write every busy second off as waste.  A retry policy then turns the
+C++11/TBB failure into a recovered run at the cost of one wasted
+attempt plus backoff.
+"""
+
+from conftest import run_once
+
+from repro.core.registry import get_workload
+from repro.faults.demos import FAULT_DEMOS, run_demo
+from repro.runtime.run import run_program
+
+P = 8
+
+
+def _fault_rows(ctx):
+    rows = []
+    for name in sorted(FAULT_DEMOS):
+        demo = FAULT_DEMOS[name]
+        res = run_demo(name, nthreads=P, ctx=ctx)
+        doc = res.meta["fault"]
+        rows.append({
+            "model": name,
+            "mode": demo.mode,
+            "time": res.time,
+            "useful": doc["useful"],
+            "wasted": doc["wasted"],
+            "skipped": doc["skipped"],
+            "cancelled": doc["cancelled"],
+        })
+    return rows
+
+
+def _render(rows) -> str:
+    lines = [
+        "Error-handling semantics under one injected task failure "
+        f"(p={P}, Table III demos)",
+        f"{'model':<10} {'mode':<12} {'time':>11} {'useful':>11} "
+        f"{'wasted':>11} {'skipped':>8}  cancelled",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['model']:<10} {r['mode']:<12} {r['time']:>11.3e} "
+            f"{r['useful']:>11.3e} {r['wasted']:>11.3e} {r['skipped']:>8} "
+            f" {'yes' if r['cancelled'] else 'no'}"
+        )
+    return "\n".join(lines)
+
+
+def bench_ext_faults(benchmark, ctx, save):
+    rows = run_once(benchmark, lambda: _fault_rows(ctx))
+    save("ext_faults", _render(rows))
+    by = {r["model"]: r for r in rows}
+
+    # every failing attempt wastes busy seconds; no model gets a free pass
+    assert all(r["wasted"] > 0 for r in rows)
+
+    # cancelling models actually spare work at p=8 ...
+    for name in ("OpenMP", "TBB", "PThreads"):
+        assert by[name]["cancelled"] and by[name]["skipped"] > 0, name
+    # ... while "x" models execute everything despite the failure
+    for name in ("CUDA", "OpenACC", "Cilk Plus"):
+        assert not by[name]["cancelled"] and by[name]["skipped"] == 0, name
+
+    # same offload pipeline, same failure: OpenCL's host-visible error
+    # skips the copy-back that CUDA's silent failure still pays for
+    assert by["OpenCL"]["time"] < by["CUDA"]["time"]
+
+
+def bench_ext_faults_retry(benchmark, ctx, save):
+    """One retry turns a failed run into a recovered one — at a price."""
+
+    def study():
+        prog = get_workload("fib").build("cilk_spawn", ctx.machine, n=16)
+        clean = run_program(prog, P, ctx, "cilk_spawn")
+        recovered = run_program(
+            prog, P, ctx, "cilk_spawn",
+            faults="fail:task=5,attempts=1",
+            policy={"max_retries": 1, "backoff": 1e-6},
+        )
+        return clean, recovered
+
+    clean, recovered = run_once(benchmark, study)
+    failed, retry = recovered.regions
+    lines = [
+        f"fib(16)/cilk_spawn p={P}: retry-after-failure cost",
+        f"  clean run            {clean.time:.3e}s",
+        f"  failed attempt       {failed.time:.3e}s "
+        f"(wasted {failed.meta['fault']['wasted']:.3e}s)",
+        f"  backoff              {failed.meta['fault']['recovery']:.3e}s",
+        f"  clean retry          {retry.time:.3e}s",
+        f"  total                {recovered.time:.3e}s "
+        f"({recovered.time / clean.time:.2f}x clean)",
+    ]
+    save("ext_faults_retry", "\n".join(lines))
+
+    # the retry itself is the clean run, bit for bit
+    assert retry.time == clean.regions[0].time
+    assert "fault" not in retry.meta
+    # total = failed attempt + backoff + retry, strictly worse than clean
+    assert recovered.time > clean.time
+    assert abs(
+        recovered.time - (failed.time + failed.meta["fault"]["recovery"] + retry.time)
+    ) < 1e-12

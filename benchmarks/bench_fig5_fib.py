@@ -11,14 +11,13 @@ We simulate n = 22 (~87k tasks; n = 40 would be ~300M) — per-node
 overhead ratios, which are what the figure shows, are scale-free.
 """
 
-import pytest
 from conftest import JOBS, THREADS, run_once
 
 from repro.core.experiment import run_experiment
 from repro.core.metrics import version_ratio
 from repro.core.report import render_sweep
 from repro.core.registry import get_workload
-from repro.runtime.base import ExecContext, ThreadExplosionError
+from repro.runtime.base import ThreadExplosionError
 from repro.runtime.run import run_program
 
 N = 22

@@ -19,10 +19,15 @@ Commands mirror the paper's artifacts:
 - ``sweep``        — run one workload's full sweep through the parallel
   executor with content-addressed result caching (``--jobs N``
   fans cells out across processes; a second invocation replays
-  cached cells without simulating).
+  cached cells without simulating);
+- ``faults``       — inject deterministic faults into one run and
+  report the model's Table III error-handling semantics: useful vs
+  wasted work, cancellation, retries (``--list-demos`` enumerates the
+  per-model demos).
 
-Exit codes: 0 success, 1 failed checks (claims/validate), 2 bad input
-(unknown workload or model name).
+Exit codes: 0 success, 1 failed checks (claims/validate) or a region
+failing past its recovery policy (``faults --strict``), 2 bad input
+(unknown workload, model, or fault spec).
 """
 
 from __future__ import annotations
@@ -30,6 +35,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Optional, Sequence
+
+from repro.faults.policy import RegionFailedError
 
 __all__ = ["main", "build_parser"]
 
@@ -90,6 +97,33 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--quiet", "-q", action="store_true",
                      help="suppress per-cell progress on stderr")
 
+    flt = sub.add_parser(
+        "faults", help="fault-injected run: error-handling semantics in action"
+    )
+    flt.add_argument("workload", nargs="?", default=None,
+                     help="workload name (axpy, sum, ..., srad)")
+    flt.add_argument("--model", "-m", default=None,
+                     help="version name or prefix (omp_task, cilk, cxx_thread, ...)")
+    flt.add_argument("--threads", "-p", type=int, default=4)
+    flt.add_argument("--inject", default="fail:task=1",
+                     help="fault spec, e.g. 'fail:task=5' or 'stall:worker=0,"
+                          "duration=2e-4;bandwidth:factor=0.5,duration=1'")
+    flt.add_argument("--retries", type=int, default=0,
+                     help="retry budget per region (with --backoff delay)")
+    flt.add_argument("--backoff", type=float, default=0.0,
+                     help="base backoff before the first retry (seconds, simulated)")
+    flt.add_argument("--timeout", type=float, default=None,
+                     help="per-region timeout (seconds, simulated)")
+    flt.add_argument("--strict", action="store_true",
+                     help="exit 1 when a region fails past its retry budget "
+                          "(default: continue and report the degradation)")
+    flt.add_argument("--gantt", action="store_true", help="print the ASCII timeline")
+    flt.add_argument("--metrics-out", default=None,
+                     help="write fault summary + per-run metrics JSON")
+    flt.add_argument("--full", action="store_true", help="paper-scale parameters")
+    flt.add_argument("--list-demos", action="store_true",
+                     help="list the Table III error-handling demos and exit")
+
     cmp_p = sub.add_parser("compare", help="feature comparison of models")
     cmp_p.add_argument("models", nargs="+", help="model names (e.g. openmp cilk tbb)")
 
@@ -110,6 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seed for the random-program property suite")
     val.add_argument("--programs", type=int, default=None,
                      help="number of random programs (default 20, or 100 with --deep)")
+    val.add_argument("--inject", default=None,
+                     help="additionally audit every workload under this fault "
+                          "spec (e.g. 'fail:task=1'); bad specs exit 2")
 
     rep = sub.add_parser("report", help="regenerate every table/figure/claim")
     rep.add_argument("--out", default="report_out")
@@ -280,6 +317,94 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan, Policy, fault_summary
+    from repro.faults.semantics import error_mode
+    from repro.core.registry import get_workload
+    from repro.obs.export import render_timeline
+    from repro.obs.metrics import result_metrics
+    from repro.runtime.base import ExecContext, ThreadExplosionError
+    from repro.runtime.run import run_program
+
+    if args.list_demos:
+        from repro.faults.demos import FAULT_DEMOS
+
+        for name, demo in sorted(FAULT_DEMOS.items()):
+            print(f"{name:<10} mode={demo.mode:<12} runtime={demo.runtime:<12} "
+                  f"inject={demo.spec:<14} — {demo.construct}")
+        return 0
+    if args.workload is None or args.model is None:
+        print("error: faults requires a workload and --model "
+              "(or --list-demos)", file=sys.stderr)
+        return 2
+
+    plan = FaultPlan.parse(args.inject)  # ValueError -> exit 2 in main()
+    policy = Policy(
+        max_retries=args.retries,
+        backoff=args.backoff,
+        timeout=args.timeout,
+        on_failure="raise" if args.strict else "continue",
+    )
+    spec = get_workload(args.workload)
+    version = spec.resolve_version(args.model)
+    params = dict(spec.paper_params if args.full else spec.default_params)
+    ctx = ExecContext()
+    try:
+        program = spec.build(version, ctx.machine, **params)
+        res = run_program(
+            program, args.threads, ctx, version,
+            trace=True, faults=plan, policy=policy,
+        )
+    except (ThreadExplosionError, RegionFailedError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(res.describe())
+    print(f"error mode: {error_mode(version)} (Table III: {version})")
+    summary = fault_summary(res)
+    print("fault summary:")
+    for key, value in summary.items():
+        val = f"{value:.6g}" if isinstance(value, float) else str(value)
+        print(f"  {key:<20} {val}")
+    for i, region in enumerate(res.regions):
+        fault = (region.meta or {}).get("fault")
+        if not fault:
+            continue
+        flags = ", ".join(
+            s for s in (
+                "failed" if fault.get("failed") else "",
+                "cancelled" if fault.get("cancelled") else "",
+                f"attempt {fault.get('attempt', 0)}",
+            ) if s
+        )
+        print(f"  region[{i}]: "
+              f"kind={fault.get('kind') or '-'} {flags} "
+              f"useful={fault.get('useful', 0.0):.3g}s "
+              f"wasted={fault.get('wasted', 0.0):.3g}s "
+              f"skipped={fault.get('skipped', 0)}")
+    if args.gantt and res.trace is not None:
+        print()
+        print(render_timeline(res.trace, nworkers=max(res.nthreads, res.trace.nworkers)))
+    if args.metrics_out:
+        import json
+        import pathlib
+
+        out = pathlib.Path(args.metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "program": args.workload,
+            "version": version,
+            "nthreads": args.threads,
+            "inject": args.inject,
+            "policy": policy.to_dict(),
+            "summary": summary,
+            "metrics": result_metrics(res).to_dict(),
+        }
+        out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote fault metrics to {out}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.features import compare
 
@@ -312,7 +437,9 @@ def _cmd_offload(args: argparse.Namespace) -> int:
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.validate import run_validation
 
-    report = run_validation(deep=args.deep, seed=args.seed, programs=args.programs)
+    report = run_validation(
+        deep=args.deep, seed=args.seed, programs=args.programs, inject=args.inject
+    )
     print(report.describe())
     return 0 if report.ok else 1
 
@@ -348,6 +475,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "microbench":

@@ -14,11 +14,11 @@ paper-scale numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.experiment import SweepResult, run_experiment
-from repro.core.metrics import best_version, gap, scaling_plateau, speedup, version_ratio
+from repro.core.metrics import best_version, gap, speedup, version_ratio
 from repro.runtime.base import ExecContext, ThreadExplosionError
 from repro.runtime.run import run_program
 from repro.core.registry import get_workload

@@ -9,11 +9,11 @@ ratios are preserved; see DESIGN.md), and the figure it reproduces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Mapping
 
-from repro.kernels.common import KERNELS, build_kernel_program
+from repro.kernels.common import build_kernel_program
 from repro.models import TASK_ONLY_VERSIONS, VERSIONS
-from repro.rodinia.common import RODINIA, build_rodinia_program
+from repro.rodinia.common import build_rodinia_program
 from repro.sim.machine import Machine
 from repro.sim.task import Program
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.core.experiment import SweepResult
 from repro.core.metrics import best_version, gap

@@ -24,7 +24,7 @@ from repro.models import cuda, openacc, openmp
 from repro.runtime.base import ExecContext
 from repro.runtime.run import run_program
 from repro.sim.device import Device, K40
-from repro.sim.task import IterSpace, Program
+from repro.sim.task import Program
 
 __all__ = ["OffloadComparison", "axpy_offload_study", "crossover_iterations"]
 

@@ -20,7 +20,6 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

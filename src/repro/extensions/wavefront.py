@@ -22,7 +22,6 @@ feature the tables only tick.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.models import cilk, openmp
 from repro.sim.machine import Machine

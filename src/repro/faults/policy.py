@@ -1,0 +1,94 @@
+"""Region-level recovery policies: retry, timeout, backoff.
+
+A :class:`Policy` governs what :func:`repro.runtime.run.run_program`
+does when a region attempt fails (its error-handling mode detected an
+injected failure) or exceeds a simulated-time budget:
+
+- retry the region up to ``max_retries`` times, charging an
+  exponential-backoff delay between attempts (recovery work);
+- on exhaustion, either raise :class:`RegionFailedError` (``raise``)
+  or continue the program with the region marked failed
+  (``continue`` — graceful degradation).
+
+Everything is simulated time; a policy never consults the wall clock,
+so policied runs are exactly as deterministic as fault-free ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Optional, Union
+
+__all__ = ["Policy", "RegionFailedError"]
+
+_ON_FAILURE = ("raise", "continue")
+
+
+class RegionFailedError(RuntimeError):
+    """A region exhausted its retry budget under an ``on_failure="raise"``
+    policy (or failed with no policy at all)."""
+
+    def __init__(self, region: str, error: str, attempts: int) -> None:
+        super().__init__(
+            f"region {region!r} failed after {attempts} attempt(s): {error}"
+        )
+        self.region = region
+        self.error = error
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Recovery policy applied per program region.
+
+    ``max_retries``     extra attempts after the first failure (0 = none).
+    ``backoff``         simulated seconds charged before retry ``k`` is
+                        ``backoff * backoff_factor ** k``.
+    ``backoff_factor``  exponential growth of the backoff delay.
+    ``timeout``         region simulated-time budget; an attempt whose
+                        time exceeds it counts as failed (kind
+                        ``timeout``) even if no fault fired.
+    ``on_failure``      ``"raise"`` or ``"continue"`` once retries are
+                        exhausted.
+    """
+
+    max_retries: int = 0
+    backoff: float = 0.0
+    backoff_factor: float = 2.0
+    timeout: Optional[float] = None
+    on_failure: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 0.0:
+            raise ValueError("backoff must be >= 0")
+        if self.timeout is not None and self.timeout <= 0.0:
+            raise ValueError("timeout must be > 0")
+        if self.on_failure not in _ON_FAILURE:
+            raise ValueError(
+                f"unknown on_failure {self.on_failure!r}; expected one of "
+                + ", ".join(_ON_FAILURE)
+            )
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff charged before retrying after failed attempt ``attempt``."""
+        return self.backoff * self.backoff_factor**attempt
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                doc[f.name] = value
+        return doc
+
+    @classmethod
+    def coerce(cls, value: Union["Policy", dict, None]) -> Optional["Policy"]:
+        if value is None:
+            return None
+        if isinstance(value, Policy):
+            return value
+        if isinstance(value, dict):
+            return cls(**value)
+        raise ValueError(f"cannot coerce {value!r} into a Policy")

@@ -1,0 +1,78 @@
+"""Mapping from models/executors to error-handling modes (Table III).
+
+Each mode names the discipline the corresponding runtime executor
+implements when a :class:`~repro.faults.plan.FaultPlan` injects a task
+failure:
+
+==============  ======================================================
+mode            behaviour
+==============  ======================================================
+``cancel``      ``omp cancel``: running chunks drain, no chunk issues
+                past the cancellation point (worksharing executor).
+``poison``      Cilk/TBB exception + implicit-sync abort: the spawn
+                tree is poisoned, in-flight tasks and steals finish,
+                nothing new becomes ready (work-stealing executor).
+``rethrow``     C++11 futures / OpenCL host errors: all launched work
+                completes, the error is rethrown at the join/get
+                (thread-pool and offload executors).
+``async_cancel``  ``pthread_cancel``: running threads terminate at the
+                failure instant, uncreated threads never start.
+``none``        Table III "No" (CUDA, OpenACC, Cilk data-parallel):
+                the failure goes undetected; the region completes and
+                reports all its busy time as wasted work.
+==============  ======================================================
+"""
+
+from __future__ import annotations
+
+__all__ = ["ERROR_MODES", "error_mode"]
+
+#: All recognised error-handling modes.
+ERROR_MODES = ("cancel", "poison", "rethrow", "async_cancel", "none")
+
+#: Model-version prefix -> mode.  Matches registry version names
+#: (``omp_for``, ``cilk_spawn``, ``cxx_async``, ...) and feature-table
+#: model keys (``openmp``, ``tbb``, ``pthreads``, ...).
+_PREFIX_MODES = (
+    ("omp", "cancel"),
+    ("openmp", "cancel"),
+    ("tbb", "poison"),
+    ("cxx", "rethrow"),
+    ("c++11", "rethrow"),
+    ("pthread", "async_cancel"),
+    ("ocl", "rethrow"),
+    ("opencl", "rethrow"),
+    ("cuda", "none"),
+    ("acc", "none"),
+    ("openacc", "none"),
+)
+
+#: Fallback when the version string says nothing: the discipline most
+#: natural to the executor itself.  ``stealing_loop`` (cilk_for-style
+#: data parallelism) is "none" per Table III's Cilk Plus row; the task
+#: executors default to their canonical models.
+_EXECUTOR_MODES = {
+    "worksharing": "cancel",
+    "stealing": "poison",
+    "stealing_loop": "none",
+    "threadpool": "rethrow",
+    "threadpool_graph": "rethrow",
+    "offload": "none",
+}
+
+
+def error_mode(version: str = "", executor: str = "") -> str:
+    """Resolve the error-handling mode for a model version and executor.
+
+    Cilk is the subtle case: ``cilk_spawn`` task parallelism propagates
+    exceptions through the implicit sync (``poison``), while ``cilk_for``
+    data parallelism has no cancellation story in Table III (``none``) —
+    so for ``cilk*`` versions the executor decides.
+    """
+    v = (version or "").lower()
+    if v.startswith("cilk"):
+        return "poison" if executor in ("stealing", "") else "none"
+    for prefix, mode in _PREFIX_MODES:
+        if v.startswith(prefix):
+            return mode
+    return _EXECUTOR_MODES.get(executor, "none")

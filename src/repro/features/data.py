@@ -29,7 +29,7 @@ CILK_PLUS = FeatureSet(
     join=_Y("cilk_sync"),
     mutual_exclusion=_Y("containers, mutex, atomic"),
     language="C/C++ elidable language extension",
-    error_handling=_N(),
+    error_handling=_N(demo="faults:Cilk Plus"),
     tool_support=_Y("Cilkscreen, Cilkview"),
     scheduling="random work stealing (THE-protocol deques), work-first",
     category="task-based model for multi-core shared memory",
@@ -49,7 +49,7 @@ CUDA = FeatureSet(
     join=_N(),
     mutual_exclusion=_Y("atomic"),
     language="C/C++ extensions",
-    error_handling=_N(),
+    error_handling=_N(demo="faults:CUDA"),
     tool_support=_Y("CUDA profiling tools"),
     scheduling="hardware thread-block scheduler on the GPU",
     category="low-level interface for NVIDIA GPUs",
@@ -69,7 +69,7 @@ CXX11 = FeatureSet(
     join=_Y("std::join, std::future"),
     mutual_exclusion=_Y("std::mutex, atomic"),
     language="C++",
-    error_handling=_Y("C++ exception"),
+    error_handling=_Y("C++ exception", demo="faults:C++11"),
     tool_support=_Y("System tools"),
     scheduling="none: std::thread maps ~1:1 to PThreads; user balances load",
     category="baseline language API for core threading functionality",
@@ -89,7 +89,7 @@ OPENACC = FeatureSet(
     join=_Y("wait"),
     mutual_exclusion=_Y("atomic"),
     language="directives for C/C++ and Fortran",
-    error_handling=_N(),
+    error_handling=_N(demo="faults:OpenACC"),
     tool_support=_Y("System/vendor tools"),
     scheduling="compiler/runtime mapping of gangs/workers/vectors to device",
     category="high-level offloading interface for manycore accelerators",
@@ -109,7 +109,7 @@ OPENCL = FeatureSet(
     join=_N(),
     mutual_exclusion=_Y("atomic"),
     language="C/C++ extensions",
-    error_handling=_Y("exceptions"),
+    error_handling=_Y("exceptions", demo="faults:OpenCL"),
     tool_support=_Y("System/vendor tools"),
     scheduling="command queues + device runtime; portable across vendors",
     category="low-level interface for manycore and accelerator architectures",
@@ -129,7 +129,7 @@ OPENMP = FeatureSet(
     join=_Y("taskwait"),
     mutual_exclusion=_Y("locks, critical, atomic, single, master"),
     language="directives for C/C++ and Fortran",
-    error_handling=_Y("omp cancel"),
+    error_handling=_Y("omp cancel", demo="faults:OpenMP"),
     tool_support=_Y("OMP Tool interface"),
     scheduling=(
         "fork-join + worksharing for loops; work-stealing (work-first/"
@@ -152,7 +152,7 @@ PTHREADS = FeatureSet(
     join=_Y("pthread_join"),
     mutual_exclusion=_Y("pthread_mutex, pthread_cond"),
     language="C library",
-    error_handling=_Y("pthread_cancel"),
+    error_handling=_Y("pthread_cancel", demo="faults:PThreads"),
     tool_support=_Y("System tools"),
     scheduling="none: kernel threads, user schedules and balances",
     category="baseline library API for core threading functionality",
@@ -172,7 +172,7 @@ TBB = FeatureSet(
     join=_Y("wait"),
     mutual_exclusion=_Y("containers, mutex, atomic"),
     language="C++ library",
-    error_handling=_Y("cancellation and exception"),
+    error_handling=_Y("cancellation and exception", demo="faults:TBB"),
     tool_support=_Y("System tools"),
     scheduling="random work stealing over per-worker deques",
     category="task-based library for multi-core shared memory",

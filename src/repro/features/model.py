@@ -10,31 +10,38 @@ one attribute per table column.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Iterator, Optional
+from typing import Iterator
 
 __all__ = ["Support", "FeatureSet", "FEATURE_FIELDS"]
 
 
 @dataclass(frozen=True)
 class Support:
-    """One table cell: support status plus the construct text."""
+    """One table cell: support status plus the construct text.
+
+    ``demo`` optionally names an executable demonstration of the cell —
+    e.g. ``"faults:OpenMP"`` points the error-handling cell at the
+    :data:`repro.faults.demos.FAULT_DEMOS` entry that runs ``omp
+    cancel`` semantics under deterministic fault injection.
+    """
 
     supported: bool
     how: str = ""
     note: str = ""
+    demo: str = ""
 
     @classmethod
-    def yes(cls, how: str, note: str = "") -> "Support":
-        return cls(True, how, note)
+    def yes(cls, how: str, note: str = "", demo: str = "") -> "Support":
+        return cls(True, how, note, demo)
 
     @classmethod
-    def no(cls, note: str = "") -> "Support":
-        return cls(False, "", note)
+    def no(cls, note: str = "", demo: str = "") -> "Support":
+        return cls(False, "", note, demo)
 
     @classmethod
-    def na(cls, note: str = "") -> "Support":
+    def na(cls, note: str = "", demo: str = "") -> "Support":
         """Not applicable (e.g. data movement on a host-only model)."""
-        return cls(False, "", note or "N/A")
+        return cls(False, "", note or "N/A", demo)
 
     @property
     def not_applicable(self) -> bool:

@@ -4,7 +4,7 @@ choose the APIs for their applications".
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.features.data import ALL_MODELS, get_model
 from repro.features.model import FEATURE_FIELDS, FeatureSet

@@ -13,7 +13,7 @@ Axpy, Sum, Matvec, Matmul and most Rodinia phases.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.models import VERSIONS, cilk, cxx11, openmp
 from repro.sim.machine import Machine

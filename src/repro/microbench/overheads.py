@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.runtime.base import ExecContext
 from repro.runtime.worksharing import run_worksharing_loop

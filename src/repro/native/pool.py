@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 __all__ = ["ThreadPool", "parallel_for", "parallel_reduce", "static_chunks"]
 

@@ -195,6 +195,24 @@ def region_metrics(region: Any, registry: Optional[MetricsRegistry] = None) -> M
     m.gauge("lock_wait_seconds").add(float(meta.get("lock_wait", 0.0)))
     m.gauge("steal_seconds").add(float(meta.get("steal_time", 0.0)))
 
+    fault = meta.get("fault")
+    if fault:
+        # graceful-degradation accounting (repro.faults): useful vs.
+        # wasted vs. recovery work, per region attempt
+        m.counter("faults_injected").inc(len(fault.get("triggered", ())))
+        if fault.get("failed"):
+            m.counter("region_failures").inc()
+        if fault.get("cancelled"):
+            m.counter("regions_cancelled").inc()
+        if fault.get("recovery", 0.0) > 0.0:
+            m.counter("retries").inc()
+        m.counter("skipped_items").inc(int(fault.get("skipped", 0)))
+        m.gauge("useful_work_seconds").add(float(fault.get("useful", 0.0)))
+        m.gauge("wasted_work_seconds").add(float(fault.get("wasted", 0.0)))
+        m.gauge("recovery_seconds").add(float(fault.get("recovery", 0.0)))
+    else:
+        m.gauge("useful_work_seconds").add(busy)
+
     p = max(1, region.nthreads)
     denom = region.time * p
     if denom > 0:

@@ -39,8 +39,12 @@ __all__ = ["SpanEvent", "InstantEvent", "Tracer", "EXEC_KINDS", "OVERHEAD_KINDS"
 #: (one worker cannot execute two things at once).
 EXEC_KINDS = frozenset({"task", "chunk", "serial", "kernel", "transfer"})
 
-#: Span kinds that represent scheduler overhead or waiting.
-OVERHEAD_KINDS = frozenset({"steal", "steal_fail", "lock_wait", "barrier", "dispatch"})
+#: Span kinds that represent scheduler overhead or waiting.  "stall" is
+#: an injected worker stall (:mod:`repro.faults`) — lost time that is
+#: neither execution nor useful scheduling.
+OVERHEAD_KINDS = frozenset(
+    {"steal", "steal_fail", "lock_wait", "barrier", "dispatch", "stall"}
+)
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.rodinia import common
 from repro.sim.machine import Machine
-from repro.sim.task import IterSpace, Program
+from repro.sim.task import Program
 
 __all__ = ["PAPER_BOXES1D", "PARTICLES_PER_BOX", "program"]
 

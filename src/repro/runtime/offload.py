@@ -39,6 +39,8 @@ def run_offload_loop(
     resident: bool = False,
     async_overlap: bool = False,
     tracer=None,
+    faults=None,
+    error_mode: str = "none",
 ) -> RegionResult:
     """Offload one data-parallel loop to ``device`` and time it.
 
@@ -51,6 +53,12 @@ def run_offload_loop(
     host link (``transfer`` spans for h2d/d2h) and worker 1 the device
     (``kernel`` span) — visually sync serializes the three stages while
     async overlaps the kernel with the copies.
+
+    Under a live ``faults`` set a kernel failure (task ordinal 0) obeys
+    ``error_mode``: ``"rethrow"`` models OpenCL's host-side error path
+    (the failed kernel's d2h copy-back is skipped, the error surfaces
+    to the host), while ``"none"`` models unchecked CUDA/OpenACC
+    launches — identical timing, all device work reported as wasted.
     """
     dev = device if device is not None else K40
     kernel = dev.kernel_time(space)
@@ -59,6 +67,16 @@ def run_offload_loop(
     else:
         h2d = dev.transfer_time(to_bytes)
         d2h = dev.transfer_time(from_bytes)
+    err = None
+    stall0 = 0.0
+    if faults is not None:
+        # host-side launch stall delays the whole pipeline
+        stall0 = faults.stall(0, 0.0)
+        # degraded link/device bandwidth slows the kernel window
+        kernel *= faults.slow_factor(stall0 + h2d)
+        err = faults.fail_task(0, stall0 + h2d)
+        if err is not None and error_mode != "none":
+            d2h = 0.0  # the failed kernel's copy-back never happens
     if async_overlap:
         # staged pipeline: the long pole hides the shorter stages except
         # for one link latency to fill the pipe
@@ -68,26 +86,49 @@ def run_offload_loop(
     else:
         total = h2d + kernel + d2h
         kernel_start = h2d
+    total += stall0
+    kernel_start += stall0
     if tracer is not None:
+        if stall0 > 0:
+            tracer.span(0, 0.0, stall0, "stall", "worker_stall")
         if h2d > 0:
-            tracer.span(0, 0.0, h2d, "transfer", "h2d")
+            tracer.span(0, stall0, stall0 + h2d, "transfer", "h2d")
         if d2h > 0:
-            d2h_start = h2d if async_overlap else h2d + kernel
+            d2h_start = stall0 + (h2d if async_overlap else h2d + kernel)
             tracer.span(0, d2h_start, d2h_start + d2h, "transfer", "d2h")
         if kernel > 0:
             tracer.span(1, kernel_start, kernel_start + kernel, "kernel", space.name)
     w = WorkerStats(busy=kernel, overhead=total - kernel, tasks=1)
+    meta = {
+        "device": dev.name,
+        "kernel": kernel,
+        "h2d": h2d,
+        "d2h": d2h,
+        "occupancy": dev.occupancy(space.niter),
+        "async": async_overlap,
+        "resident": resident,
+    }
+    if faults is not None:
+        kind = "task_fail" if err is not None else (
+            faults.triggered[0][0] if faults.triggered else ""
+        )
+        meta["fault"] = {
+            "kind": kind,
+            "error": err or "",
+            "mode": error_mode,
+            "time": kernel_start + kernel if err is not None else 0.0,
+            "failed": err is not None and error_mode != "none",
+            "cancelled": err is not None and error_mode != "none",
+            "cancel_time": kernel_start + kernel if err is not None and error_mode != "none" else 0.0,
+            "issued_after_cancel": 0,
+            "skipped": 1 if err is not None and error_mode != "none" and not resident else 0,
+            "useful": 0.0 if err is not None else w.busy,
+            "wasted": w.busy if err is not None else 0.0,
+            "triggered": [[k, t] for k, t in faults.triggered],
+        }
     return RegionResult(
         time=total,
         nthreads=nthreads,
         workers=[w],
-        meta={
-            "device": dev.name,
-            "kernel": kernel,
-            "h2d": h2d,
-            "d2h": d2h,
-            "occupancy": dev.occupancy(space.niter),
-            "async": async_overlap,
-            "resident": resident,
-        },
+        meta=meta,
     )

@@ -55,6 +55,8 @@ def execute_region(
     nthreads: int,
     ctx: ExecContext,
     tracer=None,
+    faults=None,
+    error_mode: str = "",
 ) -> RegionResult:
     """Execute one region at ``nthreads`` and return its result.
 
@@ -63,25 +65,64 @@ def execute_region(
     by the tracer's current ``offset``, so a tracer whose offset is
     advanced between regions (see :func:`run_program`) accumulates one
     program-absolute timeline.
+
+    ``faults`` is a live :class:`~repro.faults.plan.RegionFaults` for
+    this region attempt (or ``None``, the default, in which case every
+    executor takes its original fault-free path) and ``error_mode`` the
+    Table III discipline to run it under (empty = the executor's own
+    default, see :func:`repro.faults.semantics.error_mode`).
     """
+    fault_kwargs = {}
+    if faults is not None:
+        fault_kwargs["faults"] = faults
+        if error_mode:
+            fault_kwargs["error_mode"] = error_mode
+
     if isinstance(region, SerialRegion):
         dur = ctx.duration(region.work, region.membytes, region.locality, 1)
-        w = WorkerStats(busy=dur, tasks=1)
         meta = {
             "serial": True,
             "expected_work": region.work,
             "expected_bytes": region.membytes,
             "expected_locality": region.locality,
         }
+        stall = 0.0
+        err = None
+        if faults is not None:
+            stall = faults.stall(0, 0.0)
+            dur *= faults.slow_factor(stall)
+            err = faults.fail_task(0, stall)
+            kind = "task_fail" if err is not None else (
+                faults.triggered[0][0] if faults.triggered else ""
+            )
+            meta["fault"] = {
+                "kind": kind,
+                "error": err or "",
+                "mode": error_mode or "rethrow",
+                "time": stall + dur if err is not None else 0.0,
+                "failed": err is not None and error_mode != "none",
+                "cancelled": False,
+                "cancel_time": 0.0,
+                "issued_after_cancel": 0,
+                "skipped": 0,
+                "useful": 0.0 if err is not None else dur,
+                "wasted": dur if err is not None else 0.0,
+                "triggered": [[k, t] for k, t in faults.triggered],
+            }
+        w = WorkerStats(busy=dur, overhead=stall, tasks=1)
+        if tracer is not None and stall > 0:
+            tracer.span(0, 0.0, stall, "stall", "worker_stall")
         if tracer is not None and dur > 0:
-            tracer.span(0, 0.0, dur, "serial", region.name)
-        return RegionResult(time=dur, nthreads=1, workers=[w], meta=meta)
+            tracer.span(0, stall, stall + dur, "serial", region.name)
+        return RegionResult(time=stall + dur, nthreads=1, workers=[w], meta=meta)
 
     if isinstance(region, LoopRegion):
         params = dict(region.params)
         executor = region.executor
         if executor == "worksharing":
-            return run_worksharing_loop(region.space, nthreads, ctx, tracer=tracer, **params)
+            return run_worksharing_loop(
+                region.space, nthreads, ctx, tracer=tracer, **fault_kwargs, **params
+            )
         if executor == "stealing_loop":
             entry = _entry_cost(params.pop("entry", "none"), nthreads, ctx)
             exit_marker = params.pop("exit", None)
@@ -90,14 +131,18 @@ def execute_region(
             )
             return run_stealing_loop(
                 region.space, nthreads, ctx, entry_cost=entry, exit_cost=exit_c,
-                tracer=tracer, **params
+                tracer=tracer, **fault_kwargs, **params
             )
         if executor == "threadpool":
-            return run_threadpool_loop(region.space, nthreads, ctx, tracer=tracer, **params)
+            return run_threadpool_loop(
+                region.space, nthreads, ctx, tracer=tracer, **fault_kwargs, **params
+            )
         if executor == "offload":
             from repro.runtime.offload import run_offload_loop
 
-            return run_offload_loop(region.space, nthreads, ctx, tracer=tracer, **params)
+            return run_offload_loop(
+                region.space, nthreads, ctx, tracer=tracer, **fault_kwargs, **params
+            )
         raise ValueError(f"unknown loop executor {executor!r}")
 
     if isinstance(region, TaskRegion):
@@ -109,13 +154,47 @@ def execute_region(
             exit_c = _exit_cost(params.pop("exit", "none"), nthreads, ctx)
             return run_stealing_graph(
                 graph, nthreads, ctx, entry_cost=entry, exit_cost=exit_c,
-                tracer=tracer, **params
+                tracer=tracer, **fault_kwargs, **params
             )
         if executor == "threadpool_graph":
-            return run_threadpool_graph(graph, nthreads, ctx, tracer=tracer, **params)
+            return run_threadpool_graph(
+                graph, nthreads, ctx, tracer=tracer, **fault_kwargs, **params
+            )
         raise ValueError(f"unknown task executor {executor!r}")
 
     raise TypeError(f"unknown region type {type(region).__name__}")
+
+
+def _apply_timeout(res: RegionResult, fdoc, timeout: float, mode: str) -> dict:
+    """Mark a region attempt failed because it exceeded its time budget.
+
+    An attempt that already failed keeps its original cause; an attempt
+    that merely ran long has its busy time reclassified as wasted.
+    """
+    if fdoc is None:
+        fdoc = {
+            "kind": "",
+            "error": "",
+            "mode": mode,
+            "time": 0.0,
+            "failed": False,
+            "cancelled": False,
+            "cancel_time": 0.0,
+            "issued_after_cancel": 0,
+            "skipped": 0,
+            "useful": res.total_busy,
+            "wasted": 0.0,
+            "triggered": [],
+        }
+        res.meta["fault"] = fdoc
+    if not fdoc.get("failed"):
+        fdoc["failed"] = True
+        fdoc["kind"] = "timeout"
+        fdoc["error"] = f"region exceeded timeout {timeout:g}s"
+        fdoc["time"] = res.time
+        fdoc["wasted"] = fdoc.get("wasted", 0.0) + fdoc.get("useful", 0.0)
+        fdoc["useful"] = 0.0
+    return fdoc
 
 
 def run_program(
@@ -126,6 +205,8 @@ def run_program(
     validate: bool = False,
     trace=None,
     metrics=None,
+    faults=None,
+    policy=None,
 ) -> SimResult:
     """Execute all regions of ``program`` in order at ``nthreads``.
 
@@ -148,6 +229,21 @@ def run_program(
     (:func:`~repro.obs.metrics.result_metrics`) are merged — the sweep
     executor passes its per-sweep registry here so serial sweeps
     account every run without a second pass over the regions.
+
+    ``faults`` (a :class:`~repro.faults.plan.FaultPlan`, a spec string,
+    or a dict/list form) injects deterministic faults; each region runs
+    under its model's Table III error-handling mode.  ``policy`` (a
+    :class:`~repro.faults.policy.Policy` or dict) governs recovery: a
+    failed region is retried up to ``max_retries`` times with
+    exponential backoff charged as simulated recovery time, and a
+    ``timeout`` bounds any attempt's simulated duration.  A region that
+    fails with retries exhausted raises
+    :class:`~repro.faults.policy.RegionFailedError` unless the policy
+    says ``on_failure="continue"`` (graceful degradation: the program
+    keeps going, the failure stays visible in the accounting).  Every
+    attempt — failed or not — appears in ``result.regions`` with a
+    ``meta["fault"]`` document, so useful/wasted/recovery work is fully
+    reconstructible.
     """
     if nthreads <= 0:
         raise ValueError("nthreads must be positive")
@@ -159,18 +255,67 @@ def run_program(
     elif not tracer:
         # accept trace=False (and other falsy flags) as "no tracing"
         tracer = None
+    plan = pol = None
+    if faults is not None or policy is not None:
+        from repro.faults.plan import FaultPlan
+        from repro.faults.policy import Policy
+        from repro.faults.semantics import error_mode
+
+        plan = FaultPlan.coerce(faults)
+        pol = Policy.coerce(policy)
     regions = []
     total = 0.0
     if program.meta.get("pool_setup"):
         # one-time hand-rolled C++ thread-pool creation/teardown
         total += nthreads * (ctx.costs.thread_create + ctx.costs.thread_join)
-    for region in program:
-        if tracer is not None:
-            # region-local span times become program-absolute
-            tracer.begin_region(region.name, offset=total)
-        res = execute_region(region, nthreads, ctx, tracer=tracer)
-        regions.append(res)
-        total += res.time
+    model = version or program.meta.get("version", "")
+    for index, region in enumerate(program):
+        if plan is None and pol is None:
+            if tracer is not None:
+                # region-local span times become program-absolute
+                tracer.begin_region(region.name, offset=total)
+            res = execute_region(region, nthreads, ctx, tracer=tracer)
+            regions.append(res)
+            total += res.time
+            continue
+        mode = error_mode(model, getattr(region, "executor", ""))
+        attempt = 0
+        while True:
+            live = plan.for_region(region.name, index, attempt) if plan else None
+            if tracer is not None:
+                label = region.name if attempt == 0 else f"{region.name}#retry{attempt}"
+                tracer.begin_region(label, offset=total)
+            res = execute_region(
+                region, nthreads, ctx, tracer=tracer, faults=live, error_mode=mode
+            )
+            fdoc = res.meta.get("fault")
+            if pol is not None and pol.timeout is not None and res.time > pol.timeout:
+                fdoc = _apply_timeout(res, fdoc, pol.timeout, mode)
+                if tracer is not None:
+                    tracer.instant(0, res.time, "timeout")
+            res.meta["region_index"] = index
+            if fdoc is not None:
+                fdoc["attempt"] = attempt
+                fdoc.setdefault("recovery", 0.0)
+            regions.append(res)
+            total += res.time
+            if fdoc is None or not fdoc.get("failed"):
+                break
+            if pol is not None and attempt < pol.max_retries:
+                delay = pol.retry_delay(attempt)
+                fdoc["recovery"] = delay
+                if tracer is not None:
+                    tracer.instant(0, res.time, "retry")
+                total += delay
+                attempt += 1
+                continue
+            if pol is None or pol.on_failure == "raise":
+                from repro.faults.policy import RegionFailedError
+
+                raise RegionFailedError(
+                    region.name, fdoc.get("error", ""), attempt + 1
+                )
+            break  # graceful degradation: carry on with the next region
     result = SimResult(
         program=program.name,
         version=version or program.meta.get("version", ""),

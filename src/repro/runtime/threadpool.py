@@ -41,6 +41,8 @@ def run_threadpool_loop(
     reduction: bool = False,
     persistent: bool = False,
     tracer=None,
+    faults=None,
+    error_mode: str = "rethrow",
 ) -> RegionResult:
     """Execute a manually-chunked loop on bare threads.
 
@@ -59,6 +61,13 @@ def run_threadpool_loop(
     :func:`repro.runtime.run.run_program`), and each phase pays a
     condition-variable wake plus two manual barriers instead of
     create/join.
+
+    Under a live ``faults`` set, ``error_mode`` selects the Table III
+    discipline: ``"rethrow"`` (C++11 futures — every chunk runs to
+    completion, the stored exception surfaces at the serial
+    ``future::get``), ``"async_cancel"`` (``pthread_cancel`` — running
+    threads are terminated at the failure instant, threads not yet
+    created never start), or ``"none"`` (failure goes unnoticed).
     """
     if nthreads <= 0:
         raise ValueError("nthreads must be positive")
@@ -90,18 +99,25 @@ def run_threadpool_loop(
     durations = np.maximum(work / speed, mem)
 
     workers = [WorkerStats() for _ in range(n)]
-    # Serial creation: thread i starts at (i+1) * create.
-    starts = (np.arange(1, n + 1)) * create
-    finishes = starts + durations
-    # Serial join/get in program order by the master.
-    t_join = float(starts[-1])  # master is free after the last create
-    for i in range(n):
-        t_join = max(t_join, float(finishes[i])) + finalize
-        workers[i].busy = float(durations[i])
-        workers[i].overhead = create + finalize
-        workers[i].tasks = 1
-        if tracer is not None:
-            tracer.span(i, float(starts[i]), float(finishes[i]), "chunk", space.name)
+    meta_fault = None
+    if faults is not None:
+        t_join, meta_fault = _faulted_pool_walk(
+            durations, n, create, finalize, workers, faults, error_mode,
+            tracer=tracer, tag=space.name,
+        )
+    else:
+        # Serial creation: thread i starts at (i+1) * create.
+        starts = (np.arange(1, n + 1)) * create
+        finishes = starts + durations
+        # Serial join/get in program order by the master.
+        t_join = float(starts[-1])  # master is free after the last create
+        for i in range(n):
+            t_join = max(t_join, float(finishes[i])) + finalize
+            workers[i].busy = float(durations[i])
+            workers[i].overhead = create + finalize
+            workers[i].tasks = 1
+            if tracer is not None:
+                tracer.span(i, float(starts[i]), float(finishes[i]), "chunk", space.name)
     if reduction:
         t_join += n * costs.atomic_op
     if persistent:
@@ -116,7 +132,96 @@ def run_threadpool_loop(
         "expected_bytes": space.total_bytes,
         "expected_locality": space.locality,
     }
+    if meta_fault is not None:
+        meta["fault"] = meta_fault
     return RegionResult(time=t_join, nthreads=nthreads, workers=workers, meta=meta)
+
+
+def _faulted_pool_walk(
+    durations: np.ndarray,
+    n: int,
+    create: float,
+    finalize: float,
+    workers: list[WorkerStats],
+    faults,
+    mode: str,
+    *,
+    tracer=None,
+    tag: str = "chunk",
+) -> tuple[float, dict]:
+    """Chunk walk of the bare-thread loop with fault hooks live.
+
+    Pass 1 lays chunks out exactly like the fault-free path (serial
+    creation staircase, independent execution) while applying stalls and
+    bandwidth degradation and finding the failing chunk.  Pass 2 applies
+    the error-handling mode: ``async_cancel`` truncates running chunks
+    at the failure instant and suppresses creations scheduled after it;
+    ``rethrow``/``none`` let every chunk finish.
+    """
+    starts = [0.0] * n
+    stalls = [0.0] * n
+    ends = [0.0] * n
+    err = None
+    err_time = 0.0
+    for i in range(n):
+        s = (i + 1) * create
+        starts[i] = s
+        stall = faults.stall(i, s)
+        stalls[i] = stall
+        dur = float(durations[i]) * faults.slow_factor(s + stall)
+        ends[i] = s + stall + dur
+        if err is None:
+            failure = faults.fail_task(i, s + stall)
+            if failure is not None:
+                err = failure
+                err_time = ends[i]
+    cancelled = err is not None and mode == "async_cancel"
+    cancel_time = err_time if cancelled else 0.0
+    skipped = 0
+    created = [True] * n
+    if cancelled:
+        for i in range(n):
+            if starts[i] >= cancel_time:  # master cancelled before creating it
+                created[i] = False
+                skipped += 1
+            elif ends[i] > cancel_time:   # terminated mid-chunk
+                ends[i] = cancel_time
+    last_create = max((starts[i] for i in range(n) if created[i]), default=0.0)
+    t_join = last_create
+    for i in range(n):
+        if not created[i]:
+            continue
+        t_join = max(t_join, ends[i]) + finalize
+        busy = max(0.0, ends[i] - (starts[i] + stalls[i]))
+        workers[i].busy = busy
+        workers[i].overhead = create + finalize + stalls[i]
+        workers[i].tasks = 1
+        if tracer is not None:
+            if stalls[i] > 0.0:
+                tracer.span(i, starts[i], starts[i] + stalls[i], "stall", "worker_stall")
+            if ends[i] > starts[i] + stalls[i]:
+                tracer.span(i, starts[i] + stalls[i], ends[i], "chunk", tag)
+    if tracer is not None and cancelled:
+        tracer.instant(0, cancel_time, "cancel")
+    busy_total = sum(w.busy for w in workers)
+    kind = "task_fail" if err is not None else (
+        faults.triggered[0][0] if faults.triggered else ""
+    )
+    fault_doc = {
+        "kind": kind,
+        "error": err or "",
+        "mode": mode,
+        "time": err_time if err is not None else 0.0,
+        "failed": err is not None and mode != "none",
+        "cancelled": cancelled,
+        "cancel_time": cancel_time,
+        "issued_after_cancel": 0,
+        "skipped": skipped,
+        "useful": 0.0 if err is not None else busy_total,
+        "wasted": busy_total if err is not None else 0.0,
+        "triggered": [[k, t] for k, t in faults.triggered],
+    }
+    return t_join, fault_doc
 
 
 def run_threadpool_graph(
@@ -126,6 +231,8 @@ def run_threadpool_graph(
     *,
     mode: str = "async",
     tracer=None,
+    faults=None,
+    error_mode: str = "rethrow",
 ) -> RegionResult:
     """Execute a task DAG where every task is its own thread.
 
@@ -158,6 +265,8 @@ def run_threadpool_graph(
     # created serially by that parent.
     finish = [0.0] * ntasks
     child_rank: dict[int, int] = {}
+    err = None
+    err_time = 0.0
     for t in graph.tasks:
         rank = 1
         if t.deps:
@@ -168,6 +277,17 @@ def run_threadpool_graph(
         start = max((finish[d] for d in t.deps), default=0.0) + rank * create
         dur = ctx.memory.duration(t.work, t.membytes, t.locality, active) \
             if speed else t.work
+        if faults is not None:
+            stall = faults.stall(t.tid, start)
+            start += stall
+            dur *= faults.slow_factor(start)
+            if err is None:
+                failure = faults.fail_task(t.tid, start)
+                if failure is not None:
+                    # the future stores the exception; it rethrows at the
+                    # blocking get, so every already-launched thread runs
+                    err = failure
+                    err_time = start + dur
         finish[t.tid] = start + dur + finalize
         if tracer is not None:
             # one trace row per software thread (tid); the model has no
@@ -183,20 +303,39 @@ def run_threadpool_graph(
         tasks=ntasks,
     )
     byte_locs = [t.locality for t in graph.tasks if t.membytes > 0]
+    meta = {
+        "mode": mode,
+        "nthreads_created": ntasks,
+        # one WorkerStats sums over all created threads, so per-worker
+        # wall-clock caps do not apply to it
+        "aggregate_workers": True,
+        "expected_work": graph.total_work(),
+        "expected_bytes": float(sum(t.membytes for t in graph.tasks)),
+        "expected_locality": max(byte_locs) if byte_locs else 1.0,
+        "expected_locality_min": min(byte_locs) if byte_locs else 1.0,
+        "critical_path": graph.critical_path(),
+    }
+    if faults is not None:
+        kind = "task_fail" if err is not None else (
+            faults.triggered[0][0] if faults.triggered else ""
+        )
+        meta["fault"] = {
+            "kind": kind,
+            "error": err or "",
+            "mode": error_mode,
+            "time": err_time if err is not None else 0.0,
+            "failed": err is not None and error_mode != "none",
+            "cancelled": False,
+            "cancel_time": 0.0,
+            "issued_after_cancel": 0,
+            "skipped": 0,
+            "useful": 0.0 if err is not None else w.busy,
+            "wasted": w.busy if err is not None else 0.0,
+            "triggered": [[k, t] for k, t in faults.triggered],
+        }
     return RegionResult(
         time=time,
         nthreads=nthreads,
         workers=[w],
-        meta={
-            "mode": mode,
-            "nthreads_created": ntasks,
-            # one WorkerStats sums over all created threads, so per-worker
-            # wall-clock caps do not apply to it
-            "aggregate_workers": True,
-            "expected_work": graph.total_work(),
-            "expected_bytes": float(sum(t.membytes for t in graph.tasks)),
-            "expected_locality": max(byte_locs) if byte_locs else 1.0,
-            "expected_locality_min": min(byte_locs) if byte_locs else 1.0,
-            "critical_path": graph.critical_path(),
-        },
+        meta=meta,
     )

@@ -72,6 +72,8 @@ def run_worksharing_loop(
     barrier: bool = True,
     work_scale: float = 1.0,
     tracer=None,
+    faults=None,
+    error_mode: str = "cancel",
 ) -> RegionResult:
     """Execute one worksharing loop region and return its timing.
 
@@ -95,6 +97,17 @@ def run_worksharing_loop(
         Optional :class:`~repro.obs.tracer.Tracer`: emits per-chunk
         execution spans, loop-counter lock waits (dynamic/guided) and
         end-barrier waiting spans on each worker's timeline.
+    faults, error_mode:
+        Live :class:`~repro.faults.plan.RegionFaults` and the
+        error-handling mode to run under.  ``"cancel"`` implements
+        ``omp cancel for``: the failing chunk drains, every thread
+        stops at its next cancellation point (the next chunk issue) and
+        proceeds to the end barrier; skipped chunks are counted, never
+        executed.  Any other mode runs the loop to completion (Table
+        III "No": the failure goes undetected until after the join).
+        With ``faults=None`` (the default) the fast vectorized paths
+        below are taken and the result is bit-identical to earlier
+        releases.
     """
     if nthreads <= 0:
         raise ValueError("nthreads must be positive")
@@ -102,6 +115,56 @@ def run_worksharing_loop(
     p = nthreads
     workers = [WorkerStats() for _ in range(p)]
     fork_t = costs.fork_cost(p) if fork else 0.0
+
+    if faults is not None:
+        if schedule == "static":
+            if chunk is None:
+                edges = np.linspace(0, space.niter, p + 1).astype(np.int64)
+                edges[0], edges[-1] = 0, space.niter
+            else:
+                edges = chunk_edges(space.niter, chunk)
+            durations = _chunk_durations(space, edges, p, ctx, work_scale)
+            owner = np.arange(durations.size) % p
+            loop_time, lock_wait, fault_doc = _faulted_walk(
+                durations, owner, p, 0.0, costs.static_chunk, workers,
+                faults=faults, mode=error_mode, tracer=tracer, t0=fork_t,
+                tag=space.name,
+            )
+            meta = {"schedule": "static", "nchunks": int(durations.size)}
+        elif schedule in ("dynamic", "guided"):
+            edges = _dispatch_edges(space, schedule, chunk, p)
+            durations = _chunk_durations(space, edges, p, ctx, work_scale)
+            loop_time, lock_wait, fault_doc = _faulted_walk(
+                durations, None, p, costs.dynamic_dispatch, 0.0, workers,
+                faults=faults, mode=error_mode, tracer=tracer, t0=fork_t,
+                tag=space.name,
+            )
+            meta = {
+                "schedule": schedule,
+                "nchunks": int(durations.size),
+                "lock_wait": lock_wait,
+            }
+        else:
+            raise ValueError(f"unknown schedule {schedule!r}")
+        if tracer is not None and barrier:
+            bar_end = fork_t + loop_time + costs.barrier_cost(p)
+            for w in range(p):
+                tracer.span(w, fork_t + loop_time, bar_end, "barrier", "barrier")
+        total = loop_time
+        if fork:
+            total += costs.fork_cost(p)
+        if barrier:
+            total += costs.barrier_cost(p)
+        if reduction:
+            total += p * costs.reduction_per_thread
+            for w in workers:
+                w.overhead += costs.reduction_per_thread
+        meta["loop_time"] = loop_time
+        meta["expected_work"] = space.total_work * work_scale
+        meta["expected_bytes"] = space.total_bytes
+        meta["expected_locality"] = space.locality
+        meta["fault"] = fault_doc
+        return RegionResult(time=total, nthreads=p, workers=workers, meta=meta)
 
     if schedule == "static":
         if chunk is None:
@@ -139,25 +202,8 @@ def run_worksharing_loop(
                         tracer.span(w, cursor[w], bar_end, "barrier", "barrier")
         meta = {"schedule": "static", "nchunks": int(durations.size)}
     elif schedule in ("dynamic", "guided"):
-        if schedule == "dynamic":
-            csize = chunk if chunk is not None else max(1, space.niter // (32 * p))
-            edges = chunk_edges(space.niter, csize)
-        else:
-            cmin = chunk if chunk is not None else max(1, space.niter // (64 * p))
-            sizes = []
-            remaining = space.niter
-            while remaining > 0:
-                c = max(cmin, remaining // (2 * p))
-                c = min(c, remaining)
-                sizes.append(c)
-                remaining -= c
-            edges = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+        edges = _dispatch_edges(space, schedule, chunk, p)
         nchunks = edges.size - 1
-        if nchunks > _MAX_DISPATCH_CHUNKS:
-            raise ValueError(
-                f"{schedule} schedule would dispatch {nchunks} chunks; "
-                f"raise the chunk size (cap {_MAX_DISPATCH_CHUNKS})"
-            )
         durations = _chunk_durations(space, edges, p, ctx, work_scale)
         loop_time, lock_wait = _dispatch(
             durations, p, costs.dynamic_dispatch, workers,
@@ -184,6 +230,146 @@ def run_worksharing_loop(
     meta["expected_bytes"] = space.total_bytes
     meta["expected_locality"] = space.locality
     return RegionResult(time=total, nthreads=p, workers=workers, meta=meta)
+
+
+def _dispatch_edges(
+    space: IterSpace, schedule: str, chunk: Optional[int], p: int
+) -> np.ndarray:
+    """Chunk edges for the dynamic/guided dispatch schedules."""
+    if schedule == "dynamic":
+        csize = chunk if chunk is not None else max(1, space.niter // (32 * p))
+        edges = chunk_edges(space.niter, csize)
+    else:
+        cmin = chunk if chunk is not None else max(1, space.niter // (64 * p))
+        sizes = []
+        remaining = space.niter
+        while remaining > 0:
+            c = max(cmin, remaining // (2 * p))
+            c = min(c, remaining)
+            sizes.append(c)
+            remaining -= c
+        edges = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+    nchunks = edges.size - 1
+    if nchunks > _MAX_DISPATCH_CHUNKS:
+        raise ValueError(
+            f"{schedule} schedule would dispatch {nchunks} chunks; "
+            f"raise the chunk size (cap {_MAX_DISPATCH_CHUNKS})"
+        )
+    return edges
+
+
+def _faulted_walk(
+    durations: np.ndarray,
+    owner: Optional[np.ndarray],
+    p: int,
+    dispatch_cost: float,
+    per_chunk_overhead: float,
+    workers: list[WorkerStats],
+    *,
+    faults,
+    mode: str,
+    tracer=None,
+    t0: float = 0.0,
+    tag: str = "chunk",
+) -> tuple[float, float, dict]:
+    """Chunk-by-chunk walk of any schedule with fault hooks live.
+
+    ``owner`` selects static assignment (chunk i belongs to
+    ``owner[i]``); ``owner=None`` selects lock-serialized dynamic
+    dispatch (free worker grabs the next chunk).  Every chunk issue is
+    an ``omp cancel`` cancellation point: under ``mode="cancel"`` no
+    chunk is issued at or after the cancellation time (the failing
+    chunk's completion), and each such skip is counted instead.  All
+    times are region-local (``t0`` = after the fork), which is also the
+    frame fault trigger times are expressed in.
+    """
+    cancelled = False
+    cancel_time = 0.0
+    err: Optional[str] = None
+    err_time = 0.0
+    issued_after_cancel = 0
+    skipped = 0
+    lock_busy = t0
+    lock_wait = 0.0
+    finish = t0
+    if owner is None:
+        heap = [(t0, i) for i in range(p)]
+        heapq.heapify(heap)
+        cursor = None
+    else:
+        heap = None
+        cursor = [t0] * p
+    for i in range(durations.size):
+        dur = float(durations[i])
+        if owner is None:
+            t, w = heapq.heappop(heap)
+        else:
+            w = int(owner[i])
+            t = cursor[w]
+        # cancellation point: checked at every chunk issue
+        if cancelled and t >= cancel_time:
+            skipped += 1
+            if owner is None:
+                heapq.heappush(heap, (t, w))
+            continue
+        if owner is None:
+            grant = t if t >= lock_busy else lock_busy
+            hold = dispatch_cost + faults.lock_delay(grant)
+            lock_busy = grant + hold
+            lock_wait += grant - t
+            workers[w].overhead += (grant - t) + hold
+            if tracer is not None and grant > t:
+                tracer.span(w, t, grant, "lock_wait", "loop_counter")
+            s0 = grant + hold
+        else:
+            workers[w].overhead += per_chunk_overhead
+            s0 = t + per_chunk_overhead
+        stall = faults.stall(w, s0)
+        if stall > 0.0:
+            workers[w].overhead += stall
+            if tracer is not None:
+                tracer.span(w, s0, s0 + stall, "stall", "worker_stall")
+            s0 += stall
+        dur *= faults.slow_factor(s0)
+        done = s0 + dur
+        workers[w].busy += dur
+        workers[w].tasks += 1
+        if tracer is not None:
+            tracer.span(w, s0, done, "chunk", tag)
+        failure = faults.fail_task(i, s0)
+        if failure is not None and err is None:
+            err = failure
+            err_time = done
+            if mode == "cancel":
+                cancelled = True
+                cancel_time = done
+                if tracer is not None:
+                    tracer.instant(w, done, "cancel")
+        if done > finish:
+            finish = done
+        if owner is None:
+            heapq.heappush(heap, (done, w))
+        else:
+            cursor[w] = done
+    busy_total = sum(w.busy for w in workers)
+    kind = "task_fail" if err is not None else (
+        faults.triggered[0][0] if faults.triggered else ""
+    )
+    fault_doc = {
+        "kind": kind,
+        "error": err or "",
+        "mode": mode,
+        "time": err_time if err is not None else 0.0,
+        "failed": err is not None and mode != "none",
+        "cancelled": cancelled,
+        "cancel_time": cancel_time if cancelled else 0.0,
+        "issued_after_cancel": issued_after_cancel,
+        "skipped": skipped,
+        "useful": 0.0 if err is not None else busy_total,
+        "wasted": busy_total if err is not None else 0.0,
+        "triggered": [[k, t] for k, t in faults.triggered],
+    }
+    return finish - t0, lock_wait, fault_doc
 
 
 def _dispatch(

@@ -119,6 +119,8 @@ class StealingScheduler:
         work_first: bool = False,
         audit: bool = False,
         tracer=None,
+        faults=None,
+        error_mode: str = "poison",
     ) -> None:
         if nthreads <= 0:
             raise ValueError("nthreads must be positive")
@@ -157,6 +159,16 @@ class StealingScheduler:
         self.central_queue = central_queue
         self.work_first = work_first
         self.intervals: list[tuple[int, float, float, str]] = []
+        # fault-injection state (all inert when faults is None)
+        self.faults = faults
+        self.error_mode = error_mode
+        self.started = 0          # start-order ordinal for fault targeting
+        self.poisoned = False     # spawn tree poisoned: nothing new issues
+        self.poison_time = 0.0
+        self.issued_after_poison = 0
+        self._fail_tid: Optional[int] = None
+        self._fail_err: Optional[str] = None
+        self._fail_time = 0.0
 
     # ------------------------------------------------------------------
     def run(self) -> RegionResult:
@@ -182,7 +194,7 @@ class StealingScheduler:
         self._wake_idlers(pushed, t)
         self._acquire(0, t)
         self.engine.run(max_events=self.ctx.max_events)
-        if self.done != len(graph):
+        if self.done != len(graph) and not self.poisoned:
             raise RuntimeError(
                 f"deadlock: {self.done}/{len(graph)} tasks completed in {graph.name}"
             )
@@ -199,6 +211,8 @@ class StealingScheduler:
             "reducer_views": self.steal_views,
         }
         meta.update(self._expected_meta())
+        if self.faults is not None:
+            meta["fault"] = self._fault_meta()
         if self.record:
             meta["intervals"] = self.intervals
         if self.audit:
@@ -228,24 +242,70 @@ class StealingScheduler:
             "critical_path": g.critical_path(),
         }
 
+    def _fault_meta(self) -> dict:
+        """Plain-JSON fault/degradation accounting for this execution."""
+        faults = self.faults
+        err = self._fail_err
+        busy_total = sum(s.busy for s in self.stats)
+        kind = "task_fail" if err is not None else (
+            faults.triggered[0][0] if faults.triggered else ""
+        )
+        return {
+            "kind": kind,
+            "error": err or "",
+            "mode": self.error_mode,
+            "time": self._fail_time if err is not None else 0.0,
+            "failed": err is not None and self.error_mode != "none",
+            "cancelled": self.poisoned,
+            "cancel_time": self.poison_time if self.poisoned else 0.0,
+            "issued_after_cancel": self.issued_after_poison,
+            "skipped": len(self.graph) - self.done,
+            "useful": 0.0 if err is not None else busy_total,
+            "wasted": busy_total if err is not None else 0.0,
+            "triggered": [[k, t] for k, t in faults.triggered],
+        }
+
     def _run_serial_undeferred(self) -> RegionResult:
         """One thread, tasks executed immediately at creation."""
         t = 0.0
         st = self.stats[0]
         tracer = self.tracer
-        for task in self.graph.tasks:  # creation order is topological
+        faults = self.faults
+        for ordinal, task in enumerate(self.graph.tasks):  # creation order is topological
             spawn = task.spawn_cost if task.spawn_cost > 0 else self.spawn_cost
             dur = self.ctx.duration(task.work, task.membytes, task.locality, 1)
+            if faults is not None:
+                stall = faults.stall(0, t + spawn)
+                if stall > 0.0:
+                    if tracer is not None:
+                        tracer.span(0, t + spawn, t + spawn + stall, "stall", "worker_stall")
+                    st.overhead += stall
+                    t += stall
+                dur *= faults.slow_factor(t + spawn)
             if tracer is not None:
                 tracer.span(0, t + spawn, t + spawn + dur, "task", task.tag or "task")
             t += spawn + dur + self.per_task_overhead
             st.busy += dur
             st.overhead += spawn + self.per_task_overhead
             st.tasks += 1
-        self.done = len(self.graph)
+            self.done += 1
+            if faults is not None and self._fail_err is None:
+                failure = faults.fail_task(ordinal, t - dur - self.per_task_overhead)
+                if failure is not None:
+                    self._fail_err = failure
+                    self._fail_time = t - self.per_task_overhead
+                    if self.error_mode in ("poison", "cancel", "async_cancel"):
+                        # serial abort: stop issuing past the failure point
+                        self.poisoned = True
+                        self.poison_time = self._fail_time
+                        if tracer is not None:
+                            tracer.instant(0, self._fail_time, "cancel")
+                        break
         self.finish_time = t
         meta = {"steals": 0, "undeferred": True}
         meta.update(self._expected_meta())
+        if faults is not None:
+            meta["fault"] = self._fault_meta()
         return RegionResult(time=t, nthreads=1, workers=self.stats, meta=meta)
 
     # ------------------------------------------------------------------
@@ -255,9 +315,27 @@ class StealingScheduler:
         task = self.graph.tasks[tid]
         dur = self.ctx.duration(task.work, task.membytes, task.locality, min(self.active, self.p))
         st = self.stats[w]
+        t0 = max(t, self.engine.now)
+        if self.faults is not None:
+            if self.poisoned:
+                self.issued_after_poison += 1
+            ordinal = self.started
+            self.started += 1
+            stall = self.faults.stall(w, t0)
+            if stall > 0.0:
+                if self.tracer is not None:
+                    self.tracer.span(w, t0, t0 + stall, "stall", "worker_stall")
+                st.overhead += stall
+                t0 += stall
+            dur *= self.faults.slow_factor(t0)
+            if self._fail_err is None:
+                failure = self.faults.fail_task(ordinal, t0)
+                if failure is not None:
+                    self._fail_err = failure
+                    self._fail_time = t0 + dur
+                    self._fail_tid = tid
         st.busy += dur
         st.tasks += 1
-        t0 = max(t, self.engine.now)
         if self.record:
             self.intervals.append((w, t0, t0 + dur, task.tag or "task"))
         if self.tracer is not None:
@@ -271,6 +349,21 @@ class StealingScheduler:
         self.active -= 1
         t = self.engine.now
         t0 = t
+        if tid == self._fail_tid and not self.poisoned and self.error_mode in ("poison", "cancel"):
+            # the exception (or `omp cancel taskgroup`) surfaces when the
+            # failing strand completes: poison the spawn tree — in-flight
+            # tasks drain, continuations and queued tasks are abandoned
+            # at the implicit sync
+            self.poisoned = True
+            self.poison_time = t
+            if self.tracer is not None:
+                self.tracer.instant(w, t, "cancel")
+        if self.poisoned:
+            self.done += 1
+            if t > self.finish_time:
+                self.finish_time = t
+            self._acquire(w, t)
+            return
         dq = self._own_deque(w)
         pushed = 0
         dive: Optional[int] = None
@@ -301,6 +394,14 @@ class StealingScheduler:
     def _acquire(self, w: int, t: float) -> None:
         """Pop own deque (or the central queue) or steal; go idle when
         the system looks empty."""
+        if self.poisoned:
+            # poisoned tree: nothing new is popped or stolen; once the
+            # last in-flight task drains the whole execution aborts
+            self.state[w] = _IDLE
+            self._idle.append(w)
+            if self.active == 0:
+                self.engine.interrupt("poisoned")
+            return
         tid, t2 = self._own_deque(w).pop(t)
         if tid is not None:
             self.stats[w].overhead += t2 - t
@@ -480,12 +581,18 @@ def run_stealing_loop(
     record: bool = False,
     audit: bool = False,
     tracer=None,
+    faults=None,
+    error_mode: str = "none",
 ) -> RegionResult:
     """Execute a parallel loop on the work-stealing runtime.
 
     ``style="cilk_for"`` builds the splitter tree (with placement
     penalty); ``style="flat"`` builds master-spawned chunk tasks (the
     FIFO steal order hands thieves long contiguous runs, so no penalty).
+
+    ``error_mode`` defaults to ``"none"``: Table III gives Cilk-style
+    data parallelism no cancellation story, so an injected failure lets
+    the loop run to completion and is only surfaced in the accounting.
     """
     costs = ctx.costs
     if reducer:
@@ -521,6 +628,8 @@ def run_stealing_loop(
         record=record,
         audit=audit,
         tracer=tracer,
+        faults=faults,
+        error_mode=error_mode,
     )
     res = sched.run()
     res.meta["bytes_penalty"] = penalty
@@ -550,6 +659,8 @@ def run_stealing_graph(
     record: bool = False,
     audit: bool = False,
     tracer=None,
+    faults=None,
+    error_mode: str = "poison",
 ) -> RegionResult:
     """Execute an explicit task DAG on the work-stealing runtime."""
     if tracer is not None:
@@ -568,6 +679,8 @@ def run_stealing_graph(
         record=record,
         audit=audit,
         tracer=tracer,
+        faults=faults,
+        error_mode=error_mode,
     )
     res = sched.run()
     return RegionResult(

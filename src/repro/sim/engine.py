@@ -36,7 +36,10 @@ class Engine:
     exposes its event list under the old attribute.
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_events_processed", "audit", "tracer")
+    __slots__ = (
+        "now", "_heap", "_seq", "_events_processed", "audit", "tracer",
+        "interrupted",
+    )
 
     def __init__(self, tracer: Optional[Any] = None) -> None:
         self.now: float = 0.0
@@ -45,6 +48,7 @@ class Engine:
         self._events_processed: int = 0
         self.audit: Optional[list[tuple[float, int]]] = None
         self.tracer: Optional[Any] = tracer
+        self.interrupted: Optional[str] = None
 
     def enable_audit(self) -> list[tuple[float, int]]:
         """Start recording ``(time, seq)`` per processed event.
@@ -78,6 +82,16 @@ class Engine:
             raise ValueError("delay must be non-negative")
         self.at(self.now + delay, callback)
 
+    def interrupt(self, reason: str = "interrupt") -> None:
+        """Stop :meth:`run` before its next event (fault/abort hook).
+
+        The current callback finishes; queued events stay queued.  A
+        scheduler that has decided no further event can do useful work
+        (e.g. its spawn tree is poisoned and every worker is idle) calls
+        this instead of letting the queue drain.
+        """
+        self.interrupted = reason
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Process events in time order until the queue drains.
 
@@ -89,12 +103,16 @@ class Engine:
             Safety valve against runaway simulations; raises
             ``RuntimeError`` when exceeded.
 
-        Returns the final clock value.
+        Returns the final clock value.  Stops early (without raising)
+        when a callback invoked :meth:`interrupt`.
         """
         heap = self._heap
         tracer = self.tracer
         processed = 0
+        self.interrupted = None
         while heap:
+            if self.interrupted is not None:
+                break
             time, _seq, callback = heap[0]
             if until is not None and time > until:
                 break

@@ -15,7 +15,7 @@ individual terms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Machine", "PAPER_MACHINE"]
 

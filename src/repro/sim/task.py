@@ -18,13 +18,15 @@ interpolation.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
 __all__ = [
     "Task",
+    "TaskState",
     "TaskGraph",
     "IterSpace",
     "SerialRegion",
@@ -32,6 +34,23 @@ __all__ = [
     "TaskRegion",
     "Program",
 ]
+
+
+class TaskState(enum.IntEnum):
+    """Lifecycle of a schedulable unit under fault injection.
+
+    Fault-free runs only ever move PENDING → READY → RUNNING → DONE.
+    The fault layer adds FAILED (an injected error fired while the task
+    ran) and CANCELLED (the task was never issued because its region was
+    cancelled or its spawn tree poisoned first).
+    """
+
+    PENDING = 0
+    READY = 1
+    RUNNING = 2
+    DONE = 3
+    FAILED = 4
+    CANCELLED = 5
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,8 @@ output*:
 - the execution context's seed, thread cap and event budget;
 - whether the run was traced (traced and untraced entries differ in
   payload, so they address different entries);
+- the fault-injection plan and recovery policy, when the sweep injects
+  faults (fault-free cells hash exactly as before);
 - the code-relevant package version and the cache format version.
 
 Because the simulator is deterministic, two runs with equal keys are
@@ -58,7 +60,7 @@ def _key_document(cell: "SweepCell", ctx: ExecContext, trace: bool) -> dict[str,
     """The canonical key inputs, as a JSON-able document."""
     from repro import __version__
 
-    return {
+    doc: dict[str, Any] = {
         "format": KEY_FORMAT,
         "package": __version__,
         "workload": cell.workload,
@@ -72,6 +74,14 @@ def _key_document(cell: "SweepCell", ctx: ExecContext, trace: bool) -> dict[str,
         "thread_cap": ctx.thread_cap,
         "trace": bool(trace),
     }
+    # fault plan / recovery policy change the simulation output, so they
+    # are key inputs — but only when present, so every pre-existing
+    # fault-free entry keeps its address (no KEY_FORMAT bump needed).
+    if getattr(cell, "faults", None):
+        doc["faults"] = cell.faults
+    if getattr(cell, "policy", None):
+        doc["policy"] = cell.policy
+    return doc
 
 
 def cache_key(cell: "SweepCell", ctx: ExecContext, *, trace: bool = False) -> str:

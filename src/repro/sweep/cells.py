@@ -12,7 +12,7 @@ old serial loop produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports sweep lazily)
     from repro.core.experiment import ExperimentConfig
@@ -22,12 +22,21 @@ __all__ = ["SweepCell", "expand_cells"]
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One (workload, version, thread count, params) point of a sweep."""
+    """One (workload, version, thread count, params) point of a sweep.
+
+    ``faults`` / ``policy`` carry a fault-injection plan and recovery
+    policy in canonical dict form (:meth:`repro.faults.FaultPlan.to_dict`
+    / :meth:`repro.faults.Policy.to_dict`) so cells stay picklable and
+    content-addressable; ``None`` (the default) is a fault-free cell and
+    hashes exactly as it did before fault injection existed.
+    """
 
     workload: str
     version: str
     nthreads: int
     params: Mapping[str, Any] = field(default_factory=dict)
+    faults: Optional[Mapping[str, Any]] = None
+    policy: Optional[Mapping[str, Any]] = None
 
     @property
     def key(self) -> tuple[str, int]:
@@ -38,16 +47,22 @@ class SweepCell:
         return f"{self.workload}/{self.version} p={self.nthreads}"
 
 
-def expand_cells(config: "ExperimentConfig") -> list[SweepCell]:
+def expand_cells(
+    config: "ExperimentConfig",
+    faults: Optional[Mapping[str, Any]] = None,
+    policy: Optional[Mapping[str, Any]] = None,
+) -> list[SweepCell]:
     """Expand a sweep config into its independent cells.
 
     The order (versions outer, thread counts inner) matches the legacy
     serial loop of ``run_experiment``; the executor may *complete* cells
-    in any order but reports progress in this canonical one.
+    in any order but reports progress in this canonical one.  A fault
+    plan / recovery policy (already in canonical dict form) applies to
+    every cell of the sweep.
     """
     params = dict(config.params)
     return [
-        SweepCell(config.workload, version, p, dict(params))
+        SweepCell(config.workload, version, p, dict(params), faults, policy)
         for version in config.versions
         for p in config.threads
     ]

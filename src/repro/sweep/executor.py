@@ -45,6 +45,7 @@ from typing import Any, Callable, Mapping, Optional, Sequence, Union
 
 from repro.core.experiment import PAPER_THREADS, ExperimentConfig, SweepResult
 from repro.core.registry import get_workload
+from repro.faults.policy import RegionFailedError
 from repro.obs.metrics import MetricsRegistry, result_metrics
 from repro.runtime.base import ExecContext, ThreadExplosionError
 from repro.runtime.run import run_program
@@ -82,6 +83,8 @@ def _cell_payload(
         "thread_cap": ctx.thread_cap,
         "trace": bool(trace),
         "validate": bool(validate),
+        "faults": dict(cell.faults) if cell.faults else None,
+        "policy": dict(cell.policy) if cell.policy else None,
     }
 
 
@@ -113,8 +116,10 @@ def _exec_cell(payload: dict[str, Any]) -> dict[str, Any]:
             payload["version"],
             validate=payload["validate"],
             trace=payload["trace"],
+            faults=payload.get("faults"),
+            policy=payload.get("policy"),
         )
-    except ThreadExplosionError as exc:
+    except (ThreadExplosionError, RegionFailedError) as exc:
         return {"error": str(exc)}
     except Exception as exc:
         import traceback
@@ -150,8 +155,10 @@ def _run_cell_local(
             validate=validate,
             trace=trace,
             metrics=metrics,
+            faults=cell.faults,
+            policy=cell.policy,
         )
-    except ThreadExplosionError as exc:
+    except (ThreadExplosionError, RegionFailedError) as exc:
         return None, str(exc)
     return res, None
 
@@ -229,6 +236,8 @@ def run_sweep(
     refresh: bool = False,
     trace: bool = False,
     validate: bool = False,
+    faults=None,
+    policy=None,
     metrics: Optional[MetricsRegistry] = None,
     progress: Optional[ProgressFn] = None,
 ) -> SweepResult:
@@ -255,6 +264,14 @@ def run_sweep(
         cache the full event streams with the results).
     validate:
         Run the PR 1 invariant audit on every simulated cell.
+    faults, policy:
+        A fault-injection plan (:class:`~repro.faults.FaultPlan`, spec
+        string, or dict) and recovery policy
+        (:class:`~repro.faults.Policy` or dict) applied to every cell.
+        Both enter the cell's content address, so fault-injected and
+        fault-free sweeps never share cache entries; a region failing
+        past its retry budget under ``on_failure="raise"`` is recorded
+        (and cached) as a cell error, like the modelled C++11 hang.
     metrics:
         Registry to account into (one is created when omitted); it is
         attached to the returned sweep as ``SweepResult.metrics``.
@@ -274,6 +291,17 @@ def run_sweep(
     config = ExperimentConfig(
         workload, tuple(versions), tuple(threads), dict(params or {})
     )
+    fault_doc = policy_doc = None
+    if faults is not None or policy is not None:
+        # canonicalize up front: unknown kinds/keys fail here, before
+        # any simulation, and the dict forms feed the cache key
+        from repro.faults.plan import FaultPlan
+        from repro.faults.policy import Policy
+
+        plan = FaultPlan.coerce(faults)
+        pol = Policy.coerce(policy)
+        fault_doc = plan.to_dict() if plan else None
+        policy_doc = pol.to_dict() if pol is not None else None
     reg = metrics if metrics is not None else MetricsRegistry()
     store = _coerce_cache(cache)
 
@@ -284,7 +312,7 @@ def run_sweep(
                  "cache_evictions", "simulations", "sweep_errors"):
         reg.counter(name)
 
-    cells = expand_cells(config)
+    cells = expand_cells(config, fault_doc, policy_doc)
     reg.counter("sweep_cells").inc(len(cells))
     keys = [cache_key(c, ctx, trace=trace) for c in cells] if store is not None else []
 

@@ -17,11 +17,17 @@ independent layers of correctness tooling:
   useful-work equality, and speedup ordering;
 - :mod:`repro.validate.properties` — a seeded random-program harness
   (no extra dependencies) generating nested loop/task/serial programs
-  and checking every invariant under every executor.
+  and checking every invariant under every executor;
+- :mod:`repro.validate.faultcheck` — a differential oracle over the
+  Table III error-handling demos (:mod:`repro.faults.demos`): every
+  row's declared semantics (cancel / poison / rethrow / async-cancel /
+  none) is executed under deterministic fault injection and checked
+  for determinism, declared behaviour, and the fault-aware invariants.
 
-``repro validate [--deep]`` runs all three; ``run_program(...,
-validate=True)`` runs the cheap invariant pass on a single result (the
-benchmark suite does this for every result it produces).
+``repro validate [--deep] [--inject SPEC]`` runs all of them;
+``run_program(..., validate=True)`` runs the cheap invariant pass on a
+single result (the benchmark suite does this for every result it
+produces).
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.validate.differential import run_differential_matrix, run_registry_audit
+from repro.validate.faultcheck import run_fault_audit, run_fault_matrix
 from repro.validate.invariants import (
     SimulationInvariantError,
     ValidationReport,
@@ -52,6 +59,8 @@ __all__ = [
     "check_result",
     "random_program",
     "run_differential_matrix",
+    "run_fault_audit",
+    "run_fault_matrix",
     "run_property_suite",
     "run_registry_audit",
     "run_validation",
@@ -63,6 +72,7 @@ def run_validation(
     deep: bool = False,
     seed: int = 0,
     programs: Optional[int] = None,
+    inject: Optional[str] = None,
 ) -> ValidationReport:
     """Run the whole validation battery and return the merged report.
 
@@ -71,7 +81,16 @@ def run_validation(
     modest random-program suite — a few seconds of work, suitable for
     CI.  ``deep=True`` widens the thread sweep into the SMT regime and
     multiplies the random-program count.
+
+    ``inject`` is an optional fault spec (see
+    :meth:`repro.faults.FaultPlan.parse`) pushed through every registry
+    workload on top of the standard battery; an unparsable spec raises
+    :class:`ValueError` before any simulation runs.
     """
+    if inject is not None:
+        from repro.faults.plan import FaultPlan
+
+        FaultPlan.parse(inject)  # fail fast: bad specs are usage errors
     report = ValidationReport()
     run_registry_audit(
         threads=(1, 4, 16, 36) if deep else (1, 4),
@@ -83,4 +102,7 @@ def run_validation(
     )
     nprog = programs if programs is not None else (100 if deep else 20)
     run_property_suite(seed=seed, programs=nprog, report=report)
+    run_fault_matrix(threads=(1, 4, 16) if deep else (1, 4), report=report)
+    if inject is not None:
+        run_fault_audit(inject, threads=(1, 4), report=report)
     return report

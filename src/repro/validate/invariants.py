@@ -20,6 +20,13 @@ would silently invalidate the paper's cross-runtime comparisons:
   ``busy / p`` is a scheduling miracle, i.e. an accounting bug.
 - **worker-wallclock** — one worker's busy + overhead seconds cannot
   exceed the region's wall-clock time (workers are sequential).
+- **fault accounting** — regions run under a :mod:`repro.faults` plan
+  must split busy seconds exactly into useful + wasted, credit no
+  useful work to failed attempts, issue nothing after a cancellation
+  point, and never re-run a region after a successful attempt
+  (retry idempotency).  Work-conservation and critical-path bounds are
+  suspended for attempts where a fault actually fired — dropped and
+  slowed work is the *point* of the injection.
 
 Checks accumulate into a :class:`ValidationReport`; callers either
 inspect ``report.ok`` or call :meth:`ValidationReport.raise_if_failed`.
@@ -331,13 +338,40 @@ def check_region(
         rep.check(time >= max_busy - _tol(max_busy), "makespan-worker", where,
                   f"time {time:.9g} below busiest worker {max_busy:.9g}")
 
+    fault = meta.get("fault")
+    fault_fired = bool(fault) and bool(
+        fault.get("triggered") or fault.get("cancelled") or fault.get("skipped")
+    )
+
     cp = meta.get("critical_path")
-    if cp is not None:
+    if cp is not None and not fault_fired:
+        # a cancelled/degraded region legitimately finishes off the
+        # fault-free critical path (early on cancel, late on slowdown)
         rep.check(time >= cp - _tol(cp), "makespan-critical-path", where,
                   f"time {time:.9g} below critical path {cp:.9g}")
 
+    if fault:
+        useful = float(fault.get("useful", 0.0))
+        wasted = float(fault.get("wasted", 0.0))
+        rep.check(
+            abs(useful + wasted - total_busy) <= _tol(total_busy) + _tol(useful + wasted),
+            "fault-accounting",
+            where,
+            f"useful {useful:.9g} + wasted {wasted:.9g} != busy {total_busy:.9g}",
+        )
+        if fault.get("failed"):
+            rep.check(useful <= _tol(wasted), "fault-failed-no-useful", where,
+                      f"failed attempt credits useful work {useful:.9g}")
+        if fault.get("cancelled"):
+            issued = int(fault.get("issued_after_cancel", 0))
+            rep.check(issued == 0, "fault-cancel-issues", where,
+                      f"{issued} work items issued after the cancellation point")
+            cancel_time = float(fault.get("cancel_time", 0.0))
+            rep.check(cancel_time <= time + _tol(time), "fault-cancel-time", where,
+                      f"cancel at {cancel_time:.9g} after region end {time:.9g}")
+
     expected = meta.get("expected_work")
-    if expected is not None and ctx is not None:
+    if expected is not None and ctx is not None and not fault_fired:
         membytes = float(meta.get("expected_bytes", 0.0))
         locality = float(meta.get("expected_locality", 1.0))
         loc_min = meta.get("expected_locality_min")
@@ -470,4 +504,24 @@ def check_result(
     )
     for i, region in enumerate(result.regions):
         check_region(region, ctx=ctx, report=rep, where=f"{tag} region[{i}]")
+
+    # Retry idempotency: under a fault plan each source region may appear
+    # several times (one RegionResult per attempt, grouped by the
+    # ``region_index`` the runner records).  Once an attempt succeeds the
+    # runner must stop retrying — useful work is never re-executed.
+    attempts: dict[int, list[bool]] = {}
+    for region in result.regions:
+        meta = region.meta or {}
+        if "region_index" not in meta:
+            continue
+        failed = bool((meta.get("fault") or {}).get("failed"))
+        attempts.setdefault(int(meta["region_index"]), []).append(failed)
+    for index, failures in sorted(attempts.items()):
+        succeeded = [i for i, failed in enumerate(failures) if not failed]
+        rep.check(
+            len(succeeded) <= 1 and (not succeeded or succeeded[0] == len(failures) - 1),
+            "fault-retry-idempotent",
+            f"{tag} region_index={index}",
+            f"attempt outcomes (failed?) {failures}: work re-ran after a success",
+        )
     return rep

@@ -7,7 +7,7 @@ the slowest tests in the suite (~15 s total) and the most important.
 
 import pytest
 
-from repro.core.claims import ALL_CLAIMS, SweepCache, check_claim, run_all_claims
+from repro.core.claims import ALL_CLAIMS, SweepCache, check_claim
 
 
 @pytest.fixture(scope="module")

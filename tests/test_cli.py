@@ -143,3 +143,68 @@ class TestValidateCommand:
     def test_validate_custom_seed(self, capsys):
         assert main(["validate", "--programs", "1", "--seed", "123"]) == 0
         assert "OK:" in capsys.readouterr().out
+
+    def test_validate_unknown_inject_spec_exits_2(self, capsys):
+        assert main(["validate", "--programs", "1", "--inject", "explode:task=1"]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_validate_malformed_inject_spec_exits_2(self, capsys):
+        assert main(["validate", "--programs", "1", "--inject", "fail:frob=1"]) == 2
+        assert "unknown fault argument" in capsys.readouterr().err
+
+
+class TestFaultsCommand:
+    def test_faults_reports_degradation(self, capsys):
+        assert main(["faults", "fib", "-m", "cilk", "--inject", "fail:task=5"]) == 0
+        out = capsys.readouterr().out
+        assert "fault summary:" in out
+        assert "wasted_seconds" in out
+        assert "error mode: poison" in out
+
+    def test_faults_strict_exits_1(self, capsys):
+        assert main(
+            ["faults", "fib", "-m", "cilk", "--inject", "fail:task=5", "--strict"]
+        ) == 1
+        assert "injected fault" in capsys.readouterr().err
+
+    def test_faults_retry_recovers_under_strict(self, capsys):
+        assert main(
+            ["faults", "fib", "-m", "cilk", "--inject", "fail:task=5,attempts=1",
+             "--retries", "1", "--backoff", "1e-6", "--strict"]
+        ) == 0
+        assert "retries              1" in capsys.readouterr().out
+
+    def test_faults_unknown_spec_exits_2(self, capsys):
+        assert main(["faults", "fib", "-m", "cilk", "--inject", "explode:x=1"]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_faults_unknown_workload_exits_2(self, capsys):
+        assert main(["faults", "nope", "-m", "cilk"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_faults_unknown_model_exits_2(self, capsys):
+        assert main(["faults", "fib", "-m", "fortran"]) == 2
+
+    def test_faults_requires_workload_and_model(self, capsys):
+        assert main(["faults"]) == 2
+        assert "requires a workload" in capsys.readouterr().err
+
+    def test_faults_list_demos(self, capsys):
+        assert main(["faults", "--list-demos"]) == 0
+        out = capsys.readouterr().out
+        for name in ("OpenMP", "TBB", "C++11", "PThreads", "OpenCL",
+                     "CUDA", "OpenACC", "Cilk Plus"):
+            assert name in out
+
+    def test_faults_metrics_out(self, tmp_path, capsys):
+        out = tmp_path / "f" / "faults.json"
+        assert main(
+            ["faults", "fib", "-m", "cilk", "--inject", "fail:task=5",
+             "--metrics-out", str(out)]
+        ) == 0
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["summary"]["wasted_seconds"] > 0
+        assert doc["metrics"]["gauges"]["wasted_work_seconds"] > 0
+        assert doc["inject"] == "fail:task=5"

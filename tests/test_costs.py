@@ -1,6 +1,5 @@
 """Tests for the runtime cost model."""
 
-import math
 
 import pytest
 

@@ -5,14 +5,12 @@ import pytest
 from repro.features import (
     ALL_MODELS,
     MODELS,
-    FeatureSet,
     Support,
     compare,
     get_model,
     models_supporting,
     recommend,
     render_table1,
-    render_table2,
     render_table3,
     support_matrix,
 )

@@ -135,6 +135,114 @@ def test_cache_replay_matches_golden(workload, version, params, tmp_path, update
         assert tracer_to_dict(res.trace) == golden["trace"]
 
 
+# ---------------------------------------------------------------------------
+# fault-injected goldens: the same three-path determinism contract must
+# hold when a fault plan + retry policy are active (the failed attempt,
+# its backoff, and the retry all land in the pinned event streams)
+# ---------------------------------------------------------------------------
+FAULT_SPEC = "fail:task=5"
+FAULT_POLICY = {"max_retries": 1, "backoff": 1e-6, "on_failure": "continue"}
+
+
+def fault_golden_path(nthreads: int) -> pathlib.Path:
+    return GOLDEN_DIR / f"fib_cilk_spawn_p{nthreads}_fault.json"
+
+
+def fault_serial_payload(nthreads: int) -> dict:
+    ctx = ExecContext()
+    spec = get_workload("fib")
+    program = spec.build("cilk_spawn", ctx.machine, n=10)
+    res = run_program(
+        program, nthreads, ctx, "cilk_spawn",
+        trace=True, faults=FAULT_SPEC, policy=FAULT_POLICY,
+    )
+    return {
+        "workload": "fib",
+        "version": "cilk_spawn",
+        "nthreads": nthreads,
+        "inject": FAULT_SPEC,
+        "policy": dict(FAULT_POLICY),
+        "time": res.time,
+        "faults": [r.meta.get("fault") for r in res.regions],
+        "trace": tracer_to_dict(res.trace),
+    }
+
+
+def load_fault_golden(nthreads: int) -> dict:
+    path = fault_golden_path(nthreads)
+    if not path.exists():
+        pytest.fail(
+            f"missing golden {path}; generate with "
+            "`pytest tests/test_golden_traces.py --update-goldens`"
+        )
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("nthreads", [1, 4], ids=["p1", "p4"])
+def test_fault_serial_run_matches_golden(nthreads, update_goldens):
+    payload = fault_serial_payload(nthreads)
+    path = fault_golden_path(nthreads)
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"updated {path.name}")
+    assert payload == load_fault_golden(nthreads)
+
+
+def test_fault_parallel_sweep_matches_golden(update_goldens):
+    if update_goldens:
+        pytest.skip("golden update run")
+    sweep = run_sweep(
+        "fib", versions=["cilk_spawn"], threads=(1, 4), params={"n": 10},
+        jobs=2, trace=True, faults=FAULT_SPEC, policy=FAULT_POLICY,
+    )
+    for p in (1, 4):
+        golden = load_fault_golden(p)
+        res = sweep.results[("cilk_spawn", p)]
+        assert res.time == golden["time"]
+        assert [r.meta.get("fault") for r in res.regions] == golden["faults"]
+        assert tracer_to_dict(res.trace) == golden["trace"]
+
+
+def test_fault_cache_replay_matches_golden(tmp_path, update_goldens):
+    if update_goldens:
+        pytest.skip("golden update run")
+    kwargs = dict(
+        versions=["cilk_spawn"], threads=(1, 4), params={"n": 10},
+        cache=tmp_path, trace=True, faults=FAULT_SPEC, policy=FAULT_POLICY,
+    )
+    first = run_sweep("fib", **kwargs)
+    assert first.counter("simulations") == 2
+    replay = run_sweep("fib", **kwargs)
+    assert replay.counter("simulations") == 0
+    assert replay.counter("cache_hits") == 2
+    # fault-injected entries must not collide with fault-free ones
+    clean = run_sweep(
+        "fib", versions=["cilk_spawn"], threads=(1, 4), params={"n": 10},
+        cache=tmp_path, trace=True,
+    )
+    assert clean.counter("cache_hits") == 0
+    for p in (1, 4):
+        golden = load_fault_golden(p)
+        res = replay.results[("cilk_spawn", p)]
+        assert res.time == golden["time"]
+        assert [r.meta.get("fault") for r in res.regions] == golden["faults"]
+        assert tracer_to_dict(res.trace) == golden["trace"]
+
+
+def test_fault_goldens_record_failure_and_retry():
+    """The committed fault goldens must pin a real failed attempt plus a
+    clean retry (otherwise the fault suite pins nothing interesting)."""
+    for p in (1, 4):
+        golden = load_fault_golden(p)
+        docs = [d for d in golden["faults"] if d]
+        assert docs, "no fault document in golden"
+        assert any(d.get("failed") for d in docs)
+        assert any(d.get("recovery", 0) > 0 for d in docs)
+        # the retried attempt succeeded: last region has no fault doc
+        assert golden["faults"][-1] is None
+
+
 def test_goldens_cover_engine_events():
     """The committed fib goldens must actually exercise the engine's
     event stream (an empty stream would make the suite vacuous)."""

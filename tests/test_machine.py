@@ -1,6 +1,5 @@
 """Tests for the NUMA machine model."""
 
-import math
 
 import pytest
 

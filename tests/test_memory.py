@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.machine import PAPER_MACHINE, Machine
+from repro.sim.machine import PAPER_MACHINE
 from repro.sim.memory import MemoryModel
 
 

@@ -20,7 +20,6 @@ from repro.obs import (
     Tracer,
     attribute_result,
     chrome_trace,
-    metrics_payload,
     render_timeline,
     result_metrics,
     write_chrome_trace,

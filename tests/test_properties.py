@@ -1,6 +1,5 @@
 """Property-based tests on core data structures and scheduling invariants."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for the sensitivity-analysis module and placement policy."""
 
-from dataclasses import replace
 
 import pytest
 

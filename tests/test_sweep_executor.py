@@ -18,7 +18,6 @@ import pytest
 
 from repro.core.registry import WORKLOADS
 from repro.obs.metrics import MetricsRegistry
-from repro.runtime.base import ExecContext
 from repro.sweep import ResultCache, run_sweep
 from repro.sweep import executor as executor_mod
 from repro.sweep.codec import result_to_dict

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime.base import ExecContext, ThreadExplosionError
+from repro.runtime.base import ThreadExplosionError
 from repro.runtime.threadpool import run_threadpool_graph, run_threadpool_loop
 from repro.sim.task import IterSpace, TaskGraph
 

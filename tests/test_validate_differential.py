@@ -1,6 +1,5 @@
 """Tests for the differential runtime oracle (repro.validate.differential)."""
 
-import pytest
 
 from repro.cli import main
 from repro.runtime.base import ExecContext

@@ -2,11 +2,10 @@
 
 import random
 
-import pytest
 
 from repro.runtime.base import ExecContext
 from repro.runtime.run import run_program
-from repro.sim.task import LoopRegion, SerialRegion, TaskRegion
+from repro.sim.task import LoopRegion, SerialRegion
 from repro.validate.invariants import check_result
 from repro.validate.properties import (
     SMALL_MACHINE,

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.runtime.base import ExecContext
 from repro.runtime.worksharing import chunk_edges, run_worksharing_loop
 from repro.sim.task import IterSpace
 

@@ -63,8 +63,6 @@ class TestScheduler:
         assert t_a == t_b
 
     def test_seed_changes_schedule(self, small_machine):
-        from dataclasses import replace
-
         ctx1 = ExecContext(machine=small_machine, seed=1)
         ctx2 = ExecContext(machine=small_machine, seed=2)
         t1 = StealingScheduler(wide_graph(200, 3e-6), 6, ctx1).run()
