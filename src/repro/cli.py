@@ -74,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-run metrics/attribution JSON path")
     tr.add_argument("--gantt", action="store_true", help="print the ASCII timeline")
     tr.add_argument("--full", action="store_true", help="paper-scale parameters")
+    tr.add_argument("--fidelity", type=int, choices=(1, 2), default=2,
+                    help="simulation tier: 2 reference, 1 bit-identical "
+                         "vectorized fast paths (tier 0 has no events to trace)")
 
     swp = sub.add_parser(
         "sweep", help="parallel cached sweep of one workload's full matrix"
@@ -96,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write sweep accounting JSON (counters, wall time)")
     swp.add_argument("--quiet", "-q", action="store_true",
                      help="suppress per-cell progress on stderr")
+    swp.add_argument("--fidelity", choices=("auto", "0", "1", "2"), default="2",
+                     help="simulation tier: 2 reference DES, 1 bit-identical "
+                          "vectorized fast paths, 0 closed-form analytic "
+                          "estimates with calibrated error bounds, auto = "
+                          "cheapest tier the sweep's options allow")
 
     flt = sub.add_parser(
         "faults", help="fault-injected run: error-handling semantics in action"
@@ -236,7 +244,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     spec = get_workload(args.workload)
     version = spec.resolve_version(args.model)
     params = dict(spec.paper_params if args.full else spec.default_params)
-    ctx = ExecContext()
+    ctx = ExecContext().with_fidelity(args.fidelity)
     try:
         program = spec.build(version, ctx.machine, **params)
         res = run_program(program, args.threads, ctx, version, trace=True)
@@ -288,6 +296,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    fidelity = args.fidelity if args.fidelity == "auto" else int(args.fidelity)
     t0 = time.monotonic()
     sweep = run_sweep(
         args.workload,
@@ -296,6 +305,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=cache,
         refresh=args.refresh,
+        fidelity=fidelity,
         progress=progress,
     )
     wall = time.monotonic() - t0
@@ -303,7 +313,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     hits, misses = sweep.counter("cache_hits"), sweep.counter("cache_misses")
     print(
         f"\nsweep: {len(sweep.versions) * len(sweep.threads)} cells in {wall:.3f}s "
-        f"(jobs={args.jobs}, simulated={sweep.counter('simulations')}, "
+        f"(jobs={args.jobs}, fidelity={fidelity}, "
+        f"simulated={sweep.counter('simulations')}, "
+        f"estimated={sweep.counter('estimates')}, "
         f"cache hits={hits} misses={misses} "
         f"evictions={sweep.counter('cache_evictions')})"
     )

@@ -88,6 +88,7 @@ def run_experiment(
     refresh: bool = False,
     trace: bool = False,
     validate: bool = False,
+    fidelity: Any = None,
     **params: Any,
 ) -> SweepResult:
     """Run one figure's sweep and return all series.
@@ -100,7 +101,11 @@ def run_experiment(
       on disk, so re-running a figure only simulates changed cells;
     - ``refresh`` — ignore (and overwrite) existing cache entries;
     - ``trace``  — attach the observability tracer to every run;
-    - ``validate`` — run the invariant audit on every simulated run.
+    - ``validate`` — run the invariant audit on every simulated run;
+    - ``fidelity`` — simulation tier (:mod:`repro.sim.tiers`):
+      ``None`` inherits the context's tier, ``2`` reference, ``1``
+      bit-identical fast paths, ``0`` closed-form estimates, ``"auto"``
+      the cheapest tier the sweep's options allow.
 
     Serial, parallel and cached executions are bit-identical.  A
     :class:`~repro.runtime.base.ThreadExplosionError` (the C++11 fib
@@ -121,4 +126,5 @@ def run_experiment(
         refresh=refresh,
         trace=trace,
         validate=validate,
+        fidelity=fidelity,
     )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Any
 
 from repro.sim.costs import CostModel
@@ -20,6 +21,19 @@ class ThreadExplosionError(RuntimeError):
     Fibonacci "hangs because huge number of threads is created" once the
     problem size reaches 20.
     """
+
+
+@lru_cache(maxsize=128)
+def _memory_model(machine: Machine) -> MemoryModel:
+    """One shared (frozen, stateless) memory model per machine.
+
+    :class:`Machine` is a frozen hashable dataclass and
+    :class:`MemoryModel` holds no mutable state, so caching here is
+    observable only as speed: ``ExecContext.duration`` sits on the hot
+    path of every event-driven executor and used to construct a fresh
+    model per call.
+    """
+    return MemoryModel(machine)
 
 
 @dataclass(frozen=True)
@@ -40,9 +54,18 @@ class ExecContext:
     the recursive C++11 Fibonacci explode exactly at n=20 (32836 tasks),
     matching the paper's "system hangs" threshold."""
 
+    fidelity: int = 2
+    """Simulation fidelity tier (:mod:`repro.sim.tiers`).  ``2`` is the
+    reference scalar discrete-event simulation; ``1`` enables the
+    vectorized/batched fast paths, which are bit-identical to tier 2
+    (pinned by the golden-trace and equivalence suites); ``0`` marks a
+    context used for closed-form tier-0 *estimates* — the executors
+    themselves treat it like tier 1 (tier-0 results come from
+    :func:`repro.sim.tiers.estimate_program`, not ``run_program``)."""
+
     @property
     def memory(self) -> MemoryModel:
-        return MemoryModel(self.machine)
+        return _memory_model(self.machine)
 
     def with_costs(self, **overrides: Any) -> "ExecContext":
         """Context with some cost constants overridden (ablations)."""
@@ -50,6 +73,12 @@ class ExecContext:
 
     def with_machine(self, machine: Machine) -> "ExecContext":
         return replace(self, machine=machine)
+
+    def with_fidelity(self, fidelity: int) -> "ExecContext":
+        """Context running at another fidelity tier (see :mod:`repro.sim.tiers`)."""
+        if fidelity not in (0, 1, 2):
+            raise ValueError(f"fidelity must be 0, 1 or 2, got {fidelity!r}")
+        return replace(self, fidelity=fidelity)
 
     def duration(
         self, work: float, membytes: float = 0.0, locality: float = 1.0, active: int = 1

@@ -396,8 +396,9 @@ def _dispatch(
     lock_busy = 0.0
     finish = 0.0
     lock_wait = 0.0
-    for dur in durations:
-        dur = float(dur)
+    # tolist() converts once to native floats (values unchanged) instead
+    # of yielding one np.float64 per iteration of this hot loop
+    for dur in durations.tolist():
         t, w = heapq.heappop(heap)
         grant = t if t >= lock_busy else lock_busy
         lock_busy = grant + dispatch_cost

@@ -35,6 +35,8 @@ import random
 from functools import partial
 from typing import Optional
 
+import numpy as np
+
 from repro.runtime.base import ExecContext
 from repro.sim.deque import make_deque
 from repro.sim.engine import Engine
@@ -46,6 +48,7 @@ __all__ = [
     "run_stealing_graph",
     "run_stealing_loop",
     "cilk_for_graph",
+    "cilk_for_graph_batched",
     "flat_chunk_graph",
     "default_grainsize",
     "scatter_penalty",
@@ -169,6 +172,36 @@ class StealingScheduler:
         self._fail_tid: Optional[int] = None
         self._fail_err: Optional[str] = None
         self._fail_time = 0.0
+        # tier-1 fast path: memoized duration inputs (bit-identical to
+        # MemoryModel.duration — Machine methods are pure, so caching
+        # their outputs per (active, locality) changes nothing but speed)
+        if ctx.fidelity <= 1:
+            machine = ctx.machine
+            self._speed = [1.0] + [
+                machine.compute_speed(a) for a in range(1, nthreads + 1)
+            ]
+            self._bw: dict[tuple[int, float], float] = {}
+            self._duration = self._fast_duration
+        else:
+            self._duration = ctx.duration
+
+    def _fast_duration(
+        self, work: float, membytes: float, locality: float, active: int
+    ) -> float:
+        """Replicates :meth:`MemoryModel.duration` operation-for-operation
+        (same IEEE ops in the same order), with the per-call model
+        construction and Machine method dispatch memoized."""
+        if active < 1:
+            active = 1
+        compute = work / self._speed[active]
+        if membytes == 0.0:
+            return compute
+        key = (active, locality)
+        bw = self._bw.get(key)
+        if bw is None:
+            bw = self._bw[key] = self.ctx.machine.bandwidth_per_thread(active, locality)
+        mem = membytes / bw
+        return max(compute, mem)
 
     # ------------------------------------------------------------------
     def run(self) -> RegionResult:
@@ -273,7 +306,7 @@ class StealingScheduler:
         faults = self.faults
         for ordinal, task in enumerate(self.graph.tasks):  # creation order is topological
             spawn = task.spawn_cost if task.spawn_cost > 0 else self.spawn_cost
-            dur = self.ctx.duration(task.work, task.membytes, task.locality, 1)
+            dur = self._duration(task.work, task.membytes, task.locality, 1)
             if faults is not None:
                 stall = faults.stall(0, t + spawn)
                 if stall > 0.0:
@@ -313,7 +346,7 @@ class StealingScheduler:
         self.state[w] = _BUSY
         self.active += 1
         task = self.graph.tasks[tid]
-        dur = self.ctx.duration(task.work, task.membytes, task.locality, min(self.active, self.p))
+        dur = self._duration(task.work, task.membytes, task.locality, min(self.active, self.p))
         st = self.stats[w]
         t0 = max(t, self.engine.now)
         if self.faults is not None:
@@ -499,6 +532,95 @@ def cilk_for_graph(
     return g
 
 
+def _cum_at_vec(cum: np.ndarray, pos: np.ndarray, nblocks: int, niter: int) -> np.ndarray:
+    """Vectorized :meth:`IterSpace._cum_at` with the scalar's exact
+    operation order: ``x = (pos * nblocks) / niter``, truncate, clamp,
+    linear interpolation.  Callers must guarantee ``niter * nblocks <
+    2**53`` so the float64 product is exact (then multiply-and-divide is
+    bit-identical to Python's int-product true division)."""
+    x = pos * float(nblocks) / float(niter)
+    k = x.astype(np.int64)
+    kc = np.minimum(k, nblocks - 1)
+    frac = x - kc
+    val = cum[kc] + frac * (cum[kc + 1] - cum[kc])
+    return np.where(k >= nblocks, cum[-1], val)
+
+
+def cilk_for_graph_batched(
+    space: IterSpace,
+    grainsize: int,
+    ctx: ExecContext,
+    *,
+    bytes_penalty: float = 1.0,
+    work_scale: float = 1.0,
+) -> TaskGraph:
+    """Tier-1 fast path for :func:`cilk_for_graph`: identical tree
+    (same task ids, deps, tags, creation order), with the per-leaf
+    ``chunk_cost`` interpolation batched through numpy.
+
+    The first pass replays the splitter recursion with integers only,
+    recording node order and leaf bounds; leaf costs are then computed
+    in one vectorized sweep whose float ops mirror the scalar
+    ``_cum_at`` exactly.  When ``niter * nblocks`` approaches 2**53 the
+    float64 product is no longer exact and we fall back to the scalar
+    builder rather than risk a one-ulp divergence.
+    """
+    niter = space.niter
+    nblocks = space.nblocks
+    if niter * nblocks >= 2 ** 53:
+        return cilk_for_graph(
+            space, grainsize, ctx, bytes_penalty=bytes_penalty, work_scale=work_scale
+        )
+    split_cost = ctx.costs.cilk_split
+    # pass 1: integer-only replay of the recursion
+    nodes: list[tuple[bool, int, int, int]] = []  # (is_leaf, lo, hi, dep)
+    stack = [(0, niter, -1)]
+    tid = 0
+    while stack:
+        lo, hi, dep = stack.pop()
+        if hi - lo <= grainsize:
+            nodes.append((True, lo, hi, dep))
+            tid += 1
+        else:
+            nodes.append((False, lo, hi, dep))
+            mid = (lo + hi) // 2
+            stack.append((lo, mid, tid))
+            stack.append((mid, hi, tid))
+            tid += 1
+    # pass 2: batched leaf costs (scalar chunk_cost op order)
+    leaf_lo = np.array([lo for leaf, lo, _, _ in nodes if leaf], dtype=np.float64)
+    leaf_hi = np.array([hi for leaf, _, hi, _ in nodes if leaf], dtype=np.float64)
+    cw, cb = space._cum_work, space._cum_bytes
+    works = np.maximum(
+        _cum_at_vec(cw, leaf_hi, nblocks, niter) - _cum_at_vec(cw, leaf_lo, nblocks, niter),
+        0.0,
+    )
+    membytes = np.maximum(
+        _cum_at_vec(cb, leaf_hi, nblocks, niter) - _cum_at_vec(cb, leaf_lo, nblocks, niter),
+        0.0,
+    )
+    works = works.tolist()
+    membytes = membytes.tolist()
+    # pass 3: identical graph construction
+    g = TaskGraph(f"cilk_for[{space.name}]")
+    locality = space.locality
+    li = 0
+    for is_leaf, lo, hi, dep in nodes:
+        deps = () if dep < 0 else (dep,)
+        if is_leaf:
+            g.add(
+                works[li] * work_scale,
+                membytes[li] * bytes_penalty,
+                locality,
+                deps=deps,
+                tag="chunk",
+            )
+            li += 1
+        else:
+            g.add(split_cost, deps=deps, tag="split")
+    return g
+
+
 def flat_chunk_graph(
     space: IterSpace,
     nchunks: int,
@@ -604,7 +726,8 @@ def run_stealing_loop(
         penalty = (
             scatter_penalty(space, nleaves, nthreads, ctx) if apply_scatter_penalty else 1.0
         )
-        graph = cilk_for_graph(space, gsize, ctx, bytes_penalty=penalty, work_scale=work_scale)
+        build = cilk_for_graph_batched if ctx.fidelity <= 1 else cilk_for_graph
+        graph = build(space, gsize, ctx, bytes_penalty=penalty, work_scale=work_scale)
         exit_c = costs.taskwait if exit_cost is None else exit_cost
     elif style == "flat":
         nck = nchunks if nchunks is not None else nthreads * max(1, chunks_per_thread)

@@ -110,6 +110,21 @@ class Engine:
         tracer = self.tracer
         processed = 0
         self.interrupted = None
+        if tracer is None and until is None:
+            # Fast drain: same pop/clock/callback sequence with the
+            # tracer/until branches hoisted out of the loop and the
+            # peek-then-pop collapsed into a single pop.
+            pop = heapq.heappop
+            limit = float("inf") if max_events is None else max_events
+            while heap and self.interrupted is None:
+                time, _seq, callback = pop(heap)
+                self.now = time
+                callback()
+                processed += 1
+                if processed > limit:
+                    raise RuntimeError(f"simulation exceeded {max_events} events")
+            self._events_processed += processed
+            return self.now
         while heap:
             if self.interrupted is not None:
                 break

@@ -13,6 +13,9 @@ output*:
   payload, so they address different entries);
 - the fault-injection plan and recovery policy, when the sweep injects
   faults (fault-free cells hash exactly as before);
+- the fidelity tier, when below the tier-2 reference (tier-2 cells hash
+  exactly as before tiers existed; tier-0 estimates and tier-1 fast-path
+  runs address their own entries);
 - the code-relevant package version and the cache format version.
 
 Because the simulator is deterministic, two runs with equal keys are
@@ -81,6 +84,12 @@ def _key_document(cell: "SweepCell", ctx: ExecContext, trace: bool) -> dict[str,
         doc["faults"] = cell.faults
     if getattr(cell, "policy", None):
         doc["policy"] = cell.policy
+    # the fidelity tier addresses separate entries (a tier-0 estimate
+    # must never be served for a tier-2 request), but the reference tier
+    # is omitted so every pre-tiers entry keeps its address.
+    fidelity = getattr(cell, "fidelity", 2)
+    if fidelity != 2:
+        doc["fidelity"] = int(fidelity)
     return doc
 
 

@@ -37,6 +37,11 @@ class SweepCell:
     params: Mapping[str, Any] = field(default_factory=dict)
     faults: Optional[Mapping[str, Any]] = None
     policy: Optional[Mapping[str, Any]] = None
+    fidelity: int = 2
+    """Simulation fidelity tier (:mod:`repro.sim.tiers`): ``2`` reference
+    scalar DES, ``1`` vectorized fast paths (bit-identical results, but a
+    distinct cache address), ``0`` closed-form analytic estimate.  The
+    default keeps tier-2 cells hashing exactly as before tiers existed."""
 
     @property
     def key(self) -> tuple[str, int]:
@@ -51,18 +56,19 @@ def expand_cells(
     config: "ExperimentConfig",
     faults: Optional[Mapping[str, Any]] = None,
     policy: Optional[Mapping[str, Any]] = None,
+    fidelity: int = 2,
 ) -> list[SweepCell]:
     """Expand a sweep config into its independent cells.
 
     The order (versions outer, thread counts inner) matches the legacy
     serial loop of ``run_experiment``; the executor may *complete* cells
     in any order but reports progress in this canonical one.  A fault
-    plan / recovery policy (already in canonical dict form) applies to
-    every cell of the sweep.
+    plan / recovery policy (already in canonical dict form) and the
+    fidelity tier apply to every cell of the sweep.
     """
     params = dict(config.params)
     return [
-        SweepCell(config.workload, version, p, dict(params), faults, policy)
+        SweepCell(config.workload, version, p, dict(params), faults, policy, fidelity)
         for version in config.versions
         for p in config.threads
     ]

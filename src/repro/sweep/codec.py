@@ -111,7 +111,9 @@ def _region_from_dict(data: dict[str, Any]) -> RegionResult:
 
 def result_to_dict(res: SimResult, with_trace: bool = True) -> dict[str, Any]:
     """Encode a full :class:`SimResult` (regions, worker stats, meta,
-    and — when present and requested — its trace)."""
+    and — when present and requested — its trace).  A tier-0
+    :class:`~repro.sim.tiers.Tier0Result` additionally carries its
+    calibrated ``error_bound``, which marks the payload as analytic."""
     doc: dict[str, Any] = {
         "program": res.program,
         "version": res.version,
@@ -119,6 +121,9 @@ def result_to_dict(res: SimResult, with_trace: bool = True) -> dict[str, Any]:
         "time": res.time,
         "regions": [_region_to_dict(r) for r in res.regions],
     }
+    bound = getattr(res, "error_bound", None)
+    if bound is not None:
+        doc["error_bound"] = bound
     if with_trace and res.trace is not None:
         doc["trace"] = tracer_to_dict(res.trace)
     return doc
@@ -126,11 +131,12 @@ def result_to_dict(res: SimResult, with_trace: bool = True) -> dict[str, Any]:
 
 def result_from_dict(data: dict[str, Any]) -> SimResult:
     """Decode a :class:`SimResult`; times, stats, meta and trace events
-    compare equal to the encoded original."""
+    compare equal to the encoded original.  Payloads carrying an
+    ``error_bound`` decode as :class:`~repro.sim.tiers.Tier0Result`."""
     trace: Optional[Tracer] = None
     if "trace" in data:
         trace = tracer_from_dict(data["trace"])
-    return SimResult(
+    kwargs: dict[str, Any] = dict(
         program=data["program"],
         version=data["version"],
         nthreads=int(data["nthreads"]),
@@ -138,3 +144,8 @@ def result_from_dict(data: dict[str, Any]) -> SimResult:
         regions=[_region_from_dict(r) for r in data["regions"]],
         trace=trace,
     )
+    if "error_bound" in data:
+        from repro.sim.tiers import Tier0Result
+
+        return Tier0Result(error_bound=float(data["error_bound"]), **kwargs)
+    return SimResult(**kwargs)

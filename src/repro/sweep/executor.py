@@ -14,6 +14,13 @@ each one through exactly one of three paths:
   lacks ``fork``, cells run in-process through the same
   :func:`~repro.runtime.run.run_program` the legacy loop used.
 
+The ``fidelity`` tier (:mod:`repro.sim.tiers`) selects *what* runs at
+each cell: the reference scalar simulation (2), the bit-identical
+vectorized fast paths (1), or the closed-form tier-0 estimator (0,
+always in-process — an estimate costs microseconds).  The tier is part
+of the cell's cache address and is stamped into the stored payload, so
+an estimate can never be replayed as a simulation.
+
 All three paths are bit-identical: the simulator is deterministic, and
 the JSON codec round-trips floats exactly, so a parallel or replayed
 sweep produces the same times, worker statistics and trace events as a
@@ -85,6 +92,7 @@ def _cell_payload(
         "validate": bool(validate),
         "faults": dict(cell.faults) if cell.faults else None,
         "policy": dict(cell.policy) if cell.policy else None,
+        "fidelity": cell.fidelity,
     }
 
 
@@ -105,6 +113,7 @@ def _exec_cell(payload: dict[str, Any]) -> dict[str, Any]:
         seed=payload["seed"],
         max_events=payload["max_events"],
         thread_cap=payload["thread_cap"],
+        fidelity=payload.get("fidelity", 2),
     )
     spec = get_workload(payload["workload"])
     try:
@@ -163,6 +172,28 @@ def _run_cell_local(
     return res, None
 
 
+def _estimate_cell_local(
+    cell: SweepCell, ctx: ExecContext
+) -> tuple[Optional[SimResult], Optional[str]]:
+    """Tier-0 path: closed-form estimate instead of simulation.
+
+    Returns a :class:`~repro.sim.tiers.Tier0Result` (a ``SimResult``
+    subclass carrying the calibrated error bound).  Thread-per-task
+    versions past the cap raise :class:`ThreadExplosionError` exactly as
+    a tier-2 run would — the check rides along with the delegated
+    regions — so the sweep records the same cell errors.
+    """
+    from repro.sim.tiers import estimate_program
+
+    spec = get_workload(cell.workload)
+    try:
+        program = spec.build(cell.version, ctx.machine, **cell.params)
+        res = estimate_program(program, cell.nthreads, ctx, cell.version)
+    except (ThreadExplosionError, RegionFailedError) as exc:
+        return None, str(exc)
+    return res, None
+
+
 # ---------------------------------------------------------------------------
 # cache payloads
 # ---------------------------------------------------------------------------
@@ -176,6 +207,8 @@ def _encode_entry(
         "nthreads": cell.nthreads,
         "params": dict(cell.params),
     }
+    if cell.fidelity != 2:
+        doc["fidelity"] = cell.fidelity
     if err is not None:
         doc["error"] = err
     else:
@@ -185,10 +218,19 @@ def _encode_entry(
 
 
 def _decode_entry(
-    payload: dict[str, Any],
+    payload: dict[str, Any], fidelity: int = 2
 ) -> Optional[tuple[Optional[SimResult], Optional[str]]]:
-    """Decode a cached payload; ``None`` means unusable (treat as miss)."""
+    """Decode a cached payload; ``None`` means unusable (treat as miss).
+
+    ``fidelity`` is the tier of the *requesting* cell: a payload stamped
+    with a different tier is rejected even though tiers already address
+    distinct cache keys — a belt-and-braces guard so a tier-0 estimate
+    can never be served for a tier-2 request (copied cache files, key
+    collisions, hand-edited entries).
+    """
     if payload.get("format") != PAYLOAD_FORMAT:
+        return None
+    if int(payload.get("fidelity", 2)) != int(fidelity):
         return None
     if "error" in payload:
         return None, str(payload["error"])
@@ -238,6 +280,7 @@ def run_sweep(
     validate: bool = False,
     faults=None,
     policy=None,
+    fidelity: Union[None, int, str] = None,
     metrics: Optional[MetricsRegistry] = None,
     progress: Optional[ProgressFn] = None,
 ) -> SweepResult:
@@ -272,6 +315,21 @@ def run_sweep(
         fault-free sweeps never share cache entries; a region failing
         past its retry budget under ``on_failure="raise"`` is recorded
         (and cached) as a cell error, like the modelled C++11 hang.
+    fidelity:
+        Simulation fidelity tier (:mod:`repro.sim.tiers`).  ``None``
+        (the default) inherits ``ctx.fidelity`` (tier 2 for a default
+        context); ``2`` is the reference scalar simulation, ``1`` the
+        bit-identical vectorized fast paths, ``0`` the closed-form
+        analytic estimator (cells return
+        :class:`~repro.sim.tiers.Tier0Result` with calibrated error
+        bounds, always in-process — estimates are far cheaper than
+        process fan-out).  ``"auto"`` picks tier 0 for plain timing
+        sweeps and tier 1 whenever exact event semantics are required
+        (tracing, validation, or fault injection).  Requesting tier 0
+        *explicitly* together with those options is a ``ValueError`` —
+        an estimate has no events to trace, audit or fault.  The tier
+        enters the cell's content address (tier 2 keeps its pre-tiers
+        address), so tiers never share cache entries.
     metrics:
         Registry to account into (one is created when omitted); it is
         attached to the returned sweep as ``SweepResult.metrics``.
@@ -302,6 +360,22 @@ def run_sweep(
         pol = Policy.coerce(policy)
         fault_doc = plan.to_dict() if plan else None
         policy_doc = pol.to_dict() if pol is not None else None
+    needs_events = bool(trace) or bool(validate) or fault_doc is not None or policy_doc is not None
+    if fidelity is None:
+        fid = ctx.fidelity
+    elif fidelity == "auto":
+        fid = 1 if needs_events else 0
+    elif fidelity in (0, 1, 2):
+        fid = int(fidelity)
+    else:
+        raise ValueError(f"fidelity must be 'auto', 0, 1 or 2, got {fidelity!r}")
+    if fid == 0 and needs_events:
+        raise ValueError(
+            "fidelity=0 is an analytic estimate with no event stream; "
+            "tracing, validation and fault injection need fidelity 1 or 2 "
+            "(or fidelity='auto' to pick for you)"
+        )
+    ctx = ctx.with_fidelity(fid)
     reg = metrics if metrics is not None else MetricsRegistry()
     store = _coerce_cache(cache)
 
@@ -309,10 +383,10 @@ def run_sweep(
     # carry the full schema (a fully-cached sweep still reports
     # ``simulations: 0`` rather than omitting the counter).
     for name in ("sweep_cells", "cache_hits", "cache_misses", "cache_stores",
-                 "cache_evictions", "simulations", "sweep_errors"):
+                 "cache_evictions", "simulations", "estimates", "sweep_errors"):
         reg.counter(name)
 
-    cells = expand_cells(config, fault_doc, policy_doc)
+    cells = expand_cells(config, fault_doc, policy_doc, fid)
     reg.counter("sweep_cells").inc(len(cells))
     keys = [cache_key(c, ctx, trace=trace) for c in cells] if store is not None else []
 
@@ -340,7 +414,7 @@ def run_sweep(
     for i in range(len(cells)):
         if store is not None and not refresh:
             payload = store.get(keys[i])
-            decoded = _decode_entry(payload) if payload is not None else None
+            decoded = _decode_entry(payload, fid) if payload is not None else None
             if decoded is not None:
                 reg.counter("cache_hits").inc()
                 settle(i, decoded[0], decoded[1], "hit")
@@ -350,15 +424,24 @@ def run_sweep(
         pending.append(i)
 
     def finish_simulated(i: int, res: Optional[SimResult], err: Optional[str],
-                         merge: bool = True) -> None:
-        reg.counter("simulations").inc()
+                         merge: bool = True, counter: str = "simulations") -> None:
+        reg.counter(counter).inc()
         if store is not None:
             store.put(keys[i], _encode_entry(cells[i], res, err, trace))
             reg.counter("cache_stores").inc()
         settle(i, res, err, "run", merge=merge)
 
-    # -- phase 2: simulate the misses ----------------------------------
-    pool_ctx = _pool_context() if jobs > 1 and len(pending) > 1 else None
+    # -- phase 2: simulate (or estimate) the misses --------------------
+    if fid == 0:
+        # tier 0: closed-form estimates, microseconds per cell — always
+        # in-process, a worker pool would cost more than the work.
+        for i in pending:
+            res, err = _estimate_cell_local(cells[i], ctx)
+            finish_simulated(i, res, err, counter="estimates")
+        pool_ctx = None
+        pending = []
+    else:
+        pool_ctx = _pool_context() if jobs > 1 and len(pending) > 1 else None
     if pool_ctx is None:
         for i in pending:
             # serial path: run_program folds this run's metrics directly

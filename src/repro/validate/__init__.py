@@ -22,7 +22,11 @@ independent layers of correctness tooling:
   Table III error-handling demos (:mod:`repro.faults.demos`): every
   row's declared semantics (cancel / poison / rethrow / async-cancel /
   none) is executed under deterministic fault injection and checked
-  for determinism, declared behaviour, and the fault-aware invariants.
+  for determinism, declared behaviour, and the fault-aware invariants;
+- :mod:`repro.validate.tiers` — the fidelity-tier audit: tier-0
+  analytic estimates within their calibrated error bounds and tier-1
+  fast-path runs bit-identical (results *and* traces) to the tier-2
+  reference, across the whole registry.
 
 ``repro validate [--deep] [--inject SPEC]`` runs all of them;
 ``run_program(..., validate=True)`` runs the cheap invariant pass on a
@@ -47,6 +51,7 @@ from repro.validate.invariants import (
     check_result,
 )
 from repro.validate.properties import random_program, run_property_suite
+from repro.validate.tiers import run_tier_audit
 
 __all__ = [
     "SimulationInvariantError",
@@ -63,6 +68,7 @@ __all__ = [
     "run_fault_matrix",
     "run_property_suite",
     "run_registry_audit",
+    "run_tier_audit",
     "run_validation",
 ]
 
@@ -103,6 +109,7 @@ def run_validation(
     nprog = programs if programs is not None else (100 if deep else 20)
     run_property_suite(seed=seed, programs=nprog, report=report)
     run_fault_matrix(threads=(1, 4, 16) if deep else (1, 4), report=report)
+    run_tier_audit(threads=(1, 4, 16) if deep else (1, 4), report=report)
     if inject is not None:
         run_fault_audit(inject, threads=(1, 4), report=report)
     return report

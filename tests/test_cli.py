@@ -130,6 +130,65 @@ class TestFigureOut:
         assert out.exists() and "p=2" in out.read_text()
 
 
+class TestSweepCommand:
+    def test_sweep_fidelity_args(self):
+        args = build_parser().parse_args(["sweep", "axpy", "--fidelity", "auto"])
+        assert args.fidelity == "auto"
+        assert build_parser().parse_args(["sweep", "axpy"]).fidelity == "2"
+
+    def test_sweep_rejects_unknown_fidelity(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "axpy", "--fidelity", "3"])
+
+    def test_sweep_tier0_estimates_every_cell(self, capsys, tmp_path):
+        """`repro sweep --fidelity 0` estimates every cell, simulates
+        none, and says so in both the summary line and the metrics."""
+        metrics = tmp_path / "m.json"
+        code = main([
+            "sweep", "axpy", "--threads", "1", "4", "--quiet",
+            "--cache-dir", str(tmp_path / "cache"), "--fidelity", "0",
+            "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fidelity=0" in out and "simulated=0" in out
+        counters = json.load(metrics.open())["metrics"]["counters"]
+        assert counters["estimates"] == counters["sweep_cells"] > 0
+        assert counters["simulations"] == 0
+
+    def test_sweep_fidelity_auto_picks_the_analytic_tier(self, capsys):
+        """A plain sweep needs no events, so `auto` resolves to tier 0."""
+        code = main([
+            "sweep", "axpy", "--threads", "1", "--quiet", "--no-cache",
+            "--fidelity", "auto",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fidelity=auto" in out and "simulated=0" in out
+        assert "estimated=0" not in out
+
+    def test_sweep_default_is_the_reference_tier(self, capsys, tmp_path):
+        code = main([
+            "sweep", "axpy", "--threads", "1", "--quiet",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fidelity=2" in out and "estimated=0" in out
+
+    def test_trace_fidelity_flag(self, capsys, tmp_path):
+        """`repro trace --fidelity 1` produces the same Chrome trace as
+        the tier-2 default (tier 1 is bit-identical, traces included)."""
+        ref, fast = tmp_path / "t2.json", tmp_path / "t1.json"
+        assert main(["trace", "axpy", "-m", "cilk_for", "-p", "4",
+                     "--out", str(ref)]) == 0
+        assert main(["trace", "axpy", "-m", "cilk_for", "-p", "4",
+                     "--fidelity", "1", "--out", str(fast)]) == 0
+        assert fast.read_text() == ref.read_text()
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "axpy", "--fidelity", "0"])
+
+
 class TestValidateCommand:
     def test_validate_args(self):
         args = build_parser().parse_args(["validate", "--deep", "--seed", "7"])

@@ -250,3 +250,91 @@ def test_goldens_cover_engine_events():
     assert len(golden["trace"]["engine_events"]) > 100
     assert len(golden["trace"]["spans"]) > 100
     assert golden["trace"]["lock_events"]
+
+
+# ---------------------------------------------------------------------------
+# tiered fidelity: tier-1 fast paths must reproduce the same goldens
+# ---------------------------------------------------------------------------
+#: Cases chosen to drive the tier-1 fast paths hard: lud/cilk_for builds
+#: batched cilk_for graphs over skewed triangular iteration spaces;
+#: bfs/omp_task runs flat chunk tasks on locked deques through the
+#: engine's fast drain with memoized durations.
+TIER1_CASES = [
+    ("lud", "cilk_for", 4),
+    ("bfs", "omp_task", 4),
+]
+
+TIER1_IDS = [f"{w}-{v}-p{p}" for w, v, p in TIER1_CASES]
+
+
+def tier1_golden_path(workload: str, version: str, nthreads: int) -> pathlib.Path:
+    return GOLDEN_DIR / f"{workload}_{version}_p{nthreads}_tier1.json"
+
+
+def tier1_serial_payload(workload: str, version: str, nthreads: int) -> dict:
+    """Golden document for one tier-1 (vectorized fast-path) run."""
+    ctx = ExecContext().with_fidelity(1)
+    spec = get_workload(workload)
+    params = dict(spec.validation_params or spec.default_params)
+    program = spec.build(version, ctx.machine, **params)
+    res = run_program(program, nthreads, ctx, version, trace=True)
+    return {
+        "workload": workload,
+        "version": version,
+        "nthreads": nthreads,
+        "params": params,
+        "fidelity": 1,
+        "time": res.time,
+        "trace": tracer_to_dict(res.trace),
+    }
+
+
+@pytest.mark.parametrize("workload,version,nthreads", TIER1_CASES, ids=TIER1_IDS)
+def test_tier1_run_matches_golden(workload, version, nthreads, update_goldens):
+    payload = tier1_serial_payload(workload, version, nthreads)
+    path = tier1_golden_path(workload, version, nthreads)
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"updated {path.name}")
+    if not path.exists():
+        pytest.fail(
+            f"missing golden {path}; generate with "
+            "`pytest tests/test_golden_traces.py --update-goldens`"
+        )
+    assert payload == json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("workload,version,nthreads", TIER1_CASES, ids=TIER1_IDS)
+def test_tier1_golden_equals_tier2_reference(workload, version, nthreads, update_goldens):
+    """The committed tier-1 goldens must be exactly what the tier-2
+    scalar reference produces — the on-disk form of the bit-identity
+    contract between the fast paths and the reference simulation."""
+    if update_goldens:
+        pytest.skip("golden update run")
+    ctx = ExecContext()
+    spec = get_workload(workload)
+    params = dict(spec.validation_params or spec.default_params)
+    program = spec.build(version, ctx.machine, **params)
+    res = run_program(program, nthreads, ctx, version, trace=True)
+    path = tier1_golden_path(workload, version, nthreads)
+    golden = json.loads(path.read_text())
+    assert res.time == golden["time"]
+    assert tracer_to_dict(res.trace) == golden["trace"]
+
+
+@pytest.mark.parametrize("workload,version,params,nthreads", CASES, ids=CASE_IDS)
+def test_existing_goldens_reproduce_at_fidelity1(
+    workload, version, params, nthreads, update_goldens
+):
+    """The original tier-2 goldens, re-run with the tier-1 fast paths
+    enabled, must reproduce bit-for-bit — same files, no new goldens."""
+    if update_goldens:
+        pytest.skip("golden update run")
+    ctx = ExecContext().with_fidelity(1)
+    spec = get_workload(workload)
+    program = spec.build(version, ctx.machine, **params)
+    res = run_program(program, nthreads, ctx, version, trace=True)
+    golden = load_golden(workload, version, nthreads)
+    assert res.time == golden["time"]
+    assert tracer_to_dict(res.trace) == golden["trace"]

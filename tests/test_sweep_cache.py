@@ -218,3 +218,111 @@ class TestResultCacheStore:
         doc = _key_document(BASE_CELL, ExecContext(), trace=False)
         blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
         assert json.loads(blob) == doc
+
+
+class TestFidelityAddressing:
+    """Fidelity tiers must never share cache entries: a tier-0 estimate
+    served for a tier-2 request would replace a simulation with a model
+    of it, silently."""
+
+    def test_each_tier_addresses_a_distinct_entry(self):
+        ctx = ExecContext()
+        keys = {
+            cache_key(
+                SweepCell("axpy", "omp_for", 4, {"n": 120_000}, fidelity=f), ctx
+            )
+            for f in (0, 1, 2)
+        }
+        assert len(keys) == 3
+
+    def test_tier2_key_is_the_legacy_key(self):
+        """A default (tier-2) cell must hash exactly as cells did before
+        fidelity existed — pre-tiers cache entries keep their address."""
+        from repro.sweep.cache import _key_document
+
+        class LegacyCell:
+            workload = "axpy"
+            version = "omp_for"
+            nthreads = 4
+            params = {"n": 120_000}
+            # no faults / policy / fidelity attributes at all
+
+        ctx = ExecContext()
+        modern = SweepCell("axpy", "omp_for", 4, {"n": 120_000})
+        assert modern.fidelity == 2
+        assert cache_key(modern, ctx) == cache_key(LegacyCell(), ctx)
+        assert "fidelity" not in _key_document(modern, ctx, trace=False)
+
+    def test_near_miss_tier0_warmed_cache_misses_for_tier2(self, tmp_path):
+        """Warm the cache with tier-0 estimates, then request the same
+        cells at tier 2: every cell must miss and re-simulate."""
+        from repro.sweep import run_sweep
+
+        cache = ResultCache(tmp_path)
+        warm = run_sweep(
+            "axpy", versions=["omp_for"], threads=(1, 4), params={"n": 120_000},
+            cache=cache, fidelity=0,
+        )
+        assert warm.counter("estimates") == 2
+        assert len(cache) == 2
+        ref = run_sweep(
+            "axpy", versions=["omp_for"], threads=(1, 4), params={"n": 120_000},
+            cache=cache, fidelity=2,
+        )
+        assert ref.counter("cache_hits") == 0
+        assert ref.counter("simulations") == 2
+        # and the tier-0 entries are still there for tier-0 requests
+        replay = run_sweep(
+            "axpy", versions=["omp_for"], threads=(1, 4), params={"n": 120_000},
+            cache=cache, fidelity=0,
+        )
+        assert replay.counter("cache_hits") == 2
+        assert replay.counter("estimates") == 0
+
+    def test_decode_guard_rejects_mismatched_tier_payload(self, tmp_path):
+        """Even a payload stored under the wrong key (copied cache dirs,
+        hand-edited files) is rejected when its fidelity stamp does not
+        match the request."""
+        from repro.sweep import run_sweep
+        from repro.sweep.executor import _decode_entry
+
+        cache = ResultCache(tmp_path)
+        run_sweep(
+            "axpy", versions=["omp_for"], threads=(1,), params={"n": 120_000},
+            cache=cache, fidelity=0,
+        )
+        [key] = cache.keys()
+        payload = cache.get(key)
+        assert payload["fidelity"] == 0
+        assert _decode_entry(payload, 0) is not None
+        assert _decode_entry(payload, 2) is None
+        assert _decode_entry(payload, 1) is None
+        # graft the tier-0 payload under the tier-2 address: the guard
+        # still refuses to serve it
+        cell = SweepCell("axpy", "omp_for", 1, {"n": 120_000})
+        cache.put(cache_key(cell, ExecContext()), payload)
+        ref = run_sweep(
+            "axpy", versions=["omp_for"], threads=(1,), params={"n": 120_000},
+            cache=cache, fidelity=2,
+        )
+        assert ref.counter("cache_hits") == 0
+        assert ref.counter("simulations") == 1
+
+    def test_tier0_round_trip_preserves_error_bound(self, tmp_path):
+        from repro.sim.tiers import Tier0Result
+        from repro.sweep import run_sweep
+
+        cache = ResultCache(tmp_path)
+        kwargs = dict(
+            versions=["omp_task"], threads=(4,), params={"n": 120_000},
+            cache=cache, fidelity=0,
+        )
+        first = run_sweep("axpy", **kwargs)
+        replay = run_sweep("axpy", **kwargs)
+        assert replay.counter("cache_hits") == 1
+        a = first.results[("omp_task", 4)]
+        b = replay.results[("omp_task", 4)]
+        assert isinstance(a, Tier0Result) and isinstance(b, Tier0Result)
+        assert a.error_bound > 0.0
+        assert b.error_bound == a.error_bound
+        assert b.time == a.time
