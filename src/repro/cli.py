@@ -23,11 +23,24 @@ Commands mirror the paper's artifacts:
 - ``faults``       — inject deterministic faults into one run and
   report the model's Table III error-handling semantics: useful vs
   wasted work, cancellation, retries (``--list-demos`` enumerates the
-  per-model demos).
+  per-model demos);
+- ``perf``         — host-side telemetry (:mod:`repro.perf`):
+  ``perf report`` ranks where a run's *real* wall time went
+  (simulate / cache / codec / fan-out / other), ``perf ledger``
+  tails/queries the append-only run ledger, ``perf compare`` checks a
+  run against a committed baseline (exit 1 on regression), and
+  ``perf record`` measures a workload sweep into the ledger (and
+  optionally a new baseline).
 
-Exit codes: 0 success, 1 failed checks (claims/validate) or a region
-failing past its recovery policy (``faults --strict``), 2 bad input
-(unknown workload, model, or fault spec).
+``sweep``, ``faults`` and ``validate`` append one record per
+invocation to the run ledger (``benchmarks/out/ledger/``, override
+with ``REPRO_LEDGER_DIR``); ``REPRO_PERF_OFF=1`` disables all host
+telemetry.
+
+Exit codes: 0 success, 1 failed checks (claims/validate), a region
+failing past its recovery policy (``faults --strict``), or a perf
+regression (``perf compare``), 2 bad input (unknown workload, model,
+fault spec, or missing baseline/ledger record).
 """
 
 from __future__ import annotations
@@ -131,6 +144,64 @@ def build_parser() -> argparse.ArgumentParser:
     flt.add_argument("--full", action="store_true", help="paper-scale parameters")
     flt.add_argument("--list-demos", action="store_true",
                      help="list the Table III error-handling demos and exit")
+
+    perf = sub.add_parser(
+        "perf", help="host telemetry: cost attribution, run ledger, regressions"
+    )
+    psub = perf.add_subparsers(dest="perf_command", required=True)
+
+    prep = psub.add_parser(
+        "report", help="ranked host-cost attribution of a ledger record"
+    )
+    prep.add_argument("--name", default=None,
+                      help="record name filter (e.g. sweep:axpy); default latest")
+    prep.add_argument("--kind", default=None,
+                      help="record kind filter (sweep, bench, faults, ...)")
+    prep.add_argument("--ledger-dir", default=None,
+                      help="ledger directory (default benchmarks/out/ledger)")
+    prep.add_argument("--input", default=None,
+                      help="read the record from this JSON file instead of the ledger")
+
+    pled = psub.add_parser("ledger", help="tail/query the run ledger")
+    pled.add_argument("--tail", type=int, default=10,
+                      help="show the last N matching records")
+    pled.add_argument("--name", default=None, help="record name filter")
+    pled.add_argument("--kind", default=None, help="record kind filter")
+    pled.add_argument("--ledger-dir", default=None)
+    pled.add_argument("--json", action="store_true",
+                      help="print raw records as JSON lines")
+
+    pcmp = psub.add_parser(
+        "compare", help="compare a run against a committed baseline (exit 1 on regression)"
+    )
+    pcmp.add_argument("--baseline", required=True,
+                      help="baseline name (benchmarks/baselines/<name>.json) or path")
+    pcmp.add_argument("--tolerance", type=float, default=0.5,
+                      help="allowed slowdown fraction (0.5 = up to 1.5x the baseline)")
+    pcmp.add_argument("--name", default=None,
+                      help="ledger record to compare (default: the baseline's subject)")
+    pcmp.add_argument("--kind", default=None, help="record kind filter")
+    pcmp.add_argument("--ledger-dir", default=None)
+    pcmp.add_argument("--input", default=None,
+                      help="compare this record JSON file instead of the ledger tail")
+    pcmp.add_argument("--warn-only", action="store_true",
+                      help="report regressions but exit 0 (noisy CI runners)")
+
+    prec = psub.add_parser(
+        "record", help="measure one workload sweep into the ledger (uncached)"
+    )
+    prec.add_argument("workload", help="workload name (axpy, sum, ..., srad)")
+    prec.add_argument("--threads", type=int, nargs="+", default=None)
+    prec.add_argument("--jobs", "-j", type=int, default=1)
+    prec.add_argument("--fidelity", choices=("auto", "0", "1", "2"), default="2")
+    prec.add_argument("--repeat", type=int, default=1,
+                      help="measure N times (baseline takes the best)")
+    prec.add_argument("--full", action="store_true", help="paper-scale parameters")
+    prec.add_argument("--ledger-dir", default=None)
+    prec.add_argument("--update-baseline", action="store_true",
+                      help="write benchmarks/baselines/<name>.json from the best repeat")
+    prec.add_argument("--baseline-dir", default=None,
+                      help="baseline directory (default benchmarks/baselines)")
 
     cmp_p = sub.add_parser("compare", help="feature comparison of models")
     cmp_p.add_argument("models", nargs="+", help="model names (e.g. openmp cilk tbb)")
@@ -270,12 +341,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    import time
-
     from repro.core.experiment import PAPER_THREADS
     from repro.core.registry import get_workload
     from repro.core.report import render_sweep
     from repro.obs.export import write_sweep_metrics
+    from repro.perf.spans import Stopwatch
     from repro.sweep import DEFAULT_CACHE_DIR, ResultCache, run_sweep
 
     spec = get_workload(args.workload)
@@ -297,18 +367,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
 
     fidelity = args.fidelity if args.fidelity == "auto" else int(args.fidelity)
-    t0 = time.monotonic()
-    sweep = run_sweep(
-        args.workload,
-        threads=tuple(args.threads) if args.threads else PAPER_THREADS,
-        params=params,
-        jobs=args.jobs,
-        cache=cache,
-        refresh=args.refresh,
-        fidelity=fidelity,
-        progress=progress,
-    )
-    wall = time.monotonic() - t0
+    # the executor records its own host telemetry (SweepResult.perf);
+    # the Stopwatch is the REPRO_PERF_OFF fallback for the wall display
+    with Stopwatch() as sw:
+        sweep = run_sweep(
+            args.workload,
+            threads=tuple(args.threads) if args.threads else PAPER_THREADS,
+            params=params,
+            jobs=args.jobs,
+            cache=cache,
+            refresh=args.refresh,
+            fidelity=fidelity,
+            progress=progress,
+        )
+    wall = sweep.host_wall_seconds if sweep.perf else sw.wall
     print(render_sweep(sweep, chart=args.chart))
     hits, misses = sweep.counter("cache_hits"), sweep.counter("cache_misses")
     print(
@@ -326,7 +398,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             args.metrics_out, sweep, wall_seconds=wall, jobs=args.jobs
         )
         print(f"wrote sweep metrics to {out}")
+    _ledger_append(
+        "sweep",
+        f"sweep:{args.workload}",
+        sweep.perf,
+        extra={
+            "workload": args.workload,
+            "jobs": int(args.jobs),
+            "fidelity": str(fidelity),
+            "cells": len(sweep.versions) * len(sweep.threads),
+            "cache": "off" if cache is None else ("refresh" if args.refresh else "on"),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "simulations": sweep.counter("simulations"),
+            "estimates": sweep.counter("estimates"),
+        },
+    )
     return 0
+
+
+def _ledger_append(kind: str, name: str, snapshot, *, extra=None) -> None:
+    """Append one run record to the ledger (no-op when telemetry is off).
+
+    Ledger IO must never fail the measured command — an unwritable
+    ledger directory degrades to a warning on stderr.
+    """
+    if snapshot is None:
+        return
+    from repro.perf import Ledger, make_record, update_trajectory
+
+    try:
+        ledger = Ledger()
+        record = ledger.append(make_record(kind, name, snapshot, extra=extra))
+        update_trajectory(record, ledger.root)
+    except OSError as exc:  # pragma: no cover - depends on host FS state
+        print(f"warning: could not append to run ledger: {exc}", file=sys.stderr)
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -361,15 +467,29 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     version = spec.resolve_version(args.model)
     params = dict(spec.paper_params if args.full else spec.default_params)
     ctx = ExecContext()
+    from repro.perf.spans import recording
+
     try:
-        program = spec.build(version, ctx.machine, **params)
-        res = run_program(
-            program, args.threads, ctx, version,
-            trace=True, faults=plan, policy=policy,
-        )
+        with recording("faults") as host:
+            program = spec.build(version, ctx.machine, **params)
+            res = run_program(
+                program, args.threads, ctx, version,
+                trace=True, faults=plan, policy=policy,
+            )
     except (ThreadExplosionError, RegionFailedError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    _ledger_append(
+        "faults",
+        f"faults:{args.workload}:{version}",
+        host.snapshot() if host is not None else None,
+        extra={
+            "workload": args.workload,
+            "version": version,
+            "nthreads": int(args.threads),
+            "inject": args.inject,
+        },
+    )
 
     print(res.describe())
     print(f"error mode: {error_mode(version)} (Table III: {version})")
@@ -447,13 +567,223 @@ def _cmd_offload(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.perf.spans import recording
     from repro.validate import run_validation
 
-    report = run_validation(
-        deep=args.deep, seed=args.seed, programs=args.programs, inject=args.inject
-    )
+    with recording("validate") as host:
+        report = run_validation(
+            deep=args.deep, seed=args.seed, programs=args.programs, inject=args.inject
+        )
     print(report.describe())
+    _ledger_append(
+        "validate",
+        "validate:deep" if args.deep else "validate",
+        host.snapshot() if host is not None else None,
+        extra={
+            "deep": bool(args.deep),
+            "checks": report.checks,
+            "violations": len(report.violations),
+        },
+    )
     return 0 if report.ok else 1
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    if args.perf_command == "report":
+        return _cmd_perf_report(args)
+    if args.perf_command == "ledger":
+        return _cmd_perf_ledger(args)
+    if args.perf_command == "compare":
+        return _cmd_perf_compare(args)
+    if args.perf_command == "record":
+        return _cmd_perf_record(args)
+    raise AssertionError(f"unhandled perf command {args.perf_command!r}")
+
+
+def _load_perf_record(args: argparse.Namespace):
+    """Resolve the subject record: ``--input`` file, else the ledger tail.
+
+    Returns ``None`` when no matching record exists (the caller prints
+    the usage error and exits 2).
+    """
+    import json
+
+    from repro.perf import Ledger
+
+    if getattr(args, "input", None):
+        with open(args.input) as fh:
+            doc = json.load(fh)
+        # accept both a ledger record and a sweep --metrics-out document
+        if "host" in doc and "wall_seconds" not in doc.get("spans", {}):
+            host = doc["host"]
+            return {
+                "kind": "sweep",
+                "name": f"sweep:{doc.get('workload', args.input)}",
+                **host,
+            }
+        return doc
+    ledger = Ledger(args.ledger_dir)
+    return ledger.last(kind=args.kind, name=args.name)
+
+
+def _cmd_perf_report(args: argparse.Namespace) -> int:
+    from repro.perf import attribute_host
+
+    record = _load_perf_record(args)
+    if record is None:
+        print(
+            "error: no matching ledger record (run a sweep or "
+            "`repro perf record` first, or pass --input)",
+            file=sys.stderr,
+        )
+        return 2
+    print(attribute_host(record).describe())
+    return 0
+
+
+def _cmd_perf_ledger(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf import Ledger
+
+    ledger = Ledger(args.ledger_dir)
+    records = ledger.tail(args.tail, kind=args.kind, name=args.name)
+    if not records:
+        print(f"ledger is empty: {ledger.path}", file=sys.stderr)
+        return 2
+    if args.json:
+        for rec in records:
+            print(json.dumps(rec, sort_keys=True, separators=(",", ":")))
+        return 0
+    print(f"ledger: {ledger.path} ({len(records)} shown)")
+    for rec in records:
+        ts = rec.get("ts")
+        when = _format_ts(ts) if ts else "-"
+        extra = rec.get("extra") or {}
+        detail = " ".join(
+            f"{k}={extra[k]}" for k in sorted(extra) if isinstance(extra[k], (int, str))
+        )
+        print(
+            f"  {when}  {rec.get('kind', '?'):<9} {rec.get('name', '?'):<28} "
+            f"wall={rec.get('wall_seconds', 0.0):8.3f}s "
+            f"cpu={rec.get('cpu_seconds', 0.0):8.3f}s  {detail}"
+        )
+    return 0
+
+
+def _format_ts(ts: float) -> str:
+    import datetime
+
+    return datetime.datetime.fromtimestamp(ts).strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _cmd_perf_compare(args: argparse.Namespace) -> int:
+    from repro.perf import MissingBaselineError, compare, load_baseline
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except MissingBaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.name is None and not getattr(args, "input", None):
+        meta = baseline.get("meta") or {}
+        args.name = meta.get("subject") or baseline.get("name") or None
+    record = _load_perf_record(args)
+    if record is None:
+        print(
+            f"error: no ledger record matching name={args.name!r} "
+            f"kind={args.kind!r} to compare against {args.baseline!r}",
+            file=sys.stderr,
+        )
+        return 2
+    report = compare(baseline, record, tolerance=args.tolerance)
+    print(report.describe())
+    if report.ok:
+        return 0
+    return 0 if args.warn_only else 1
+
+
+def _cmd_perf_record(args: argparse.Namespace) -> int:
+    from repro.core.experiment import PAPER_THREADS
+    from repro.core.registry import get_workload
+    from repro.perf import (
+        Ledger,
+        baseline_path,
+        make_record,
+        perf_enabled,
+        update_trajectory,
+        write_baseline,
+    )
+    from repro.sweep import run_sweep
+
+    if not perf_enabled():
+        print(
+            "error: REPRO_PERF_OFF=1 — cannot measure with telemetry disabled",
+            file=sys.stderr,
+        )
+        return 2
+    spec = get_workload(args.workload)
+    params = dict(spec.paper_params if args.full else spec.default_params)
+    threads = tuple(args.threads) if args.threads else PAPER_THREADS
+    fidelity = args.fidelity if args.fidelity == "auto" else int(args.fidelity)
+    name = f"sweep:{args.workload}"
+    ledger = Ledger(args.ledger_dir)
+    best: Optional[dict] = None
+    for i in range(max(1, args.repeat)):
+        # uncached on purpose: a measurement run must pay the full cost
+        sweep = run_sweep(
+            args.workload,
+            threads=threads,
+            params=params,
+            jobs=args.jobs,
+            cache=None,
+            fidelity=fidelity,
+        )
+        record = make_record(
+            "record",
+            name,
+            sweep.perf,
+            extra={
+                "workload": args.workload,
+                "jobs": int(args.jobs),
+                "fidelity": str(fidelity),
+                "cells": len(sweep.versions) * len(sweep.threads),
+                "repeat": i,
+            },
+        )
+        record = ledger.append(record)
+        update_trajectory(record, ledger.root)
+        print(
+            f"repeat {i}: wall={record['wall_seconds']:.3f}s "
+            f"cpu={record['cpu_seconds']:.3f}s"
+        )
+        if best is None or record["wall_seconds"] < best["wall_seconds"]:
+            best = record
+    assert best is not None
+    print(f"ledger: {ledger.path}")
+    if args.update_baseline:
+        kwargs = {"root": args.baseline_dir} if args.baseline_dir else {}
+        out = write_baseline(
+            name,
+            {
+                "wall_seconds": best["wall_seconds"],
+                "cpu_seconds": best["cpu_seconds"],
+            },
+            meta={
+                "subject": name,
+                "jobs": int(args.jobs),
+                "fidelity": str(fidelity),
+                "threads": list(threads),
+                "repeats": max(1, args.repeat),
+            },
+            **kwargs,
+        )
+        print(f"baseline: {out}")
+    elif args.baseline_dir is None:
+        target = baseline_path(name)
+        if not target.exists():
+            print(f"hint: --update-baseline would write {target}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -489,6 +819,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_sweep(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "microbench":

@@ -38,6 +38,13 @@ class SweepResult:
     the sweep executor accounted into (cache hits/misses, simulation
     counts, and the merged per-run metrics); it is ``None`` only for
     results rebuilt from the lossy serialized form.
+
+    ``perf`` is the host-telemetry snapshot of the executing sweep
+    (:meth:`repro.perf.PerfRecorder.snapshot`): host wall/CPU seconds
+    plus the executor's span/counter detail.  It is ``None`` when
+    telemetry is disabled (``REPRO_PERF_OFF=1``) or for rebuilt
+    results — host cost is a property of one execution, so it is never
+    serialized into the result cache.
     """
 
     config: ExperimentConfig
@@ -46,6 +53,7 @@ class SweepResult:
     results: dict[tuple[str, int], SimResult] = field(default_factory=dict)
     errors: dict[tuple[str, int], str] = field(default_factory=dict)
     metrics: Optional[Any] = None
+    perf: Optional[dict[str, Any]] = None
 
     @property
     def workload(self) -> str:
@@ -76,6 +84,20 @@ class SweepResult:
             return 0
         c = self.metrics.counters.get(name)
         return c.value if c is not None else 0
+
+    @property
+    def host_wall_seconds(self) -> float:
+        """Host wall-clock cost of executing this sweep (0.0 unmetered)."""
+        if not self.perf:
+            return 0.0
+        return float(self.perf.get("wall_seconds", 0.0))
+
+    @property
+    def host_cpu_seconds(self) -> float:
+        """Host CPU cost of executing this sweep (0.0 unmetered)."""
+        if not self.perf:
+            return 0.0
+        return float(self.perf.get("cpu_seconds", 0.0))
 
 
 def run_experiment(

@@ -252,6 +252,13 @@ def sweep_metrics_payload(
         "errors": len(sweep.errors),
         "metrics": sweep.metrics.to_dict() if sweep.metrics is not None else {},
     }
+    host = getattr(sweep, "perf", None)
+    if host:
+        # host telemetry (repro.perf): wall/CPU totals + span detail of
+        # the executing sweep — `repro perf report` consumes this shape
+        payload["host"] = host
+        if wall_seconds is None:
+            wall_seconds = host.get("wall_seconds")
     if wall_seconds is not None:
         payload["wall_seconds"] = float(wall_seconds)
     if jobs is not None:

@@ -1,0 +1,57 @@
+"""Environment fingerprint for ledger records.
+
+Two host runs are only comparable when they ran on comparable stacks:
+the fingerprint captures the interpreter, the platform, the package
+version and the git revision, so the regression tracker (and a human
+reading the ledger) can tell a real slowdown from a python upgrade or
+a different machine.  Everything is best-effort and dependency-free —
+a missing git binary or a tarball checkout simply yields ``null``.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from typing import Any, Optional
+
+__all__ = ["environment_fingerprint", "git_sha"]
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """Short git revision of the working tree, or ``None``.
+
+    Never raises: no git binary, not a repository, or a hung subprocess
+    (2 s timeout) all degrade to ``None`` — the fingerprint is metadata,
+    not a dependency.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=2,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.strip()
+    return sha or None
+
+
+def environment_fingerprint(*, git: bool = True) -> dict[str, Any]:
+    """JSON-ready description of the host this process runs on."""
+    from repro import __version__
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "package": __version__,
+        "git_sha": git_sha() if git else None,
+    }

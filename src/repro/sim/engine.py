@@ -16,7 +16,10 @@ work-stealing distribution of loop chunks.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter, process_time
 from typing import Any, Callable, Optional
+
+from repro.perf.spans import current as _perf_current
 
 __all__ = ["Engine", "SimLock"]
 
@@ -105,7 +108,26 @@ class Engine:
 
         Returns the final clock value.  Stops early (without raising)
         when a callback invoked :meth:`interrupt`.
+
+        Host telemetry: with a :mod:`repro.perf` recording active the
+        drain's host wall/CPU cost lands in an ``engine.drain`` span
+        and its event count in an ``engine.events`` counter — one
+        predicate per :meth:`run` call, never per event, so the
+        disabled path keeps the hot loop untouched.
         """
+        rec = _perf_current()
+        if rec is None:
+            return self._drain(until, max_events)
+        t0 = perf_counter()
+        c0 = process_time()
+        n0 = self._events_processed
+        try:
+            return self._drain(until, max_events)
+        finally:
+            rec.add_span("engine.drain", perf_counter() - t0, process_time() - c0)
+            rec.count("engine.events", self._events_processed - n0)
+
+    def _drain(self, until: Optional[float], max_events: Optional[int]) -> float:
         heap = self._heap
         tracer = self.tracer
         processed = 0

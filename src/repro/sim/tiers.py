@@ -43,6 +43,7 @@ from typing import Iterable, Mapping, Optional
 
 import numpy as np
 
+from repro.perf.spans import span as _perf_span
 from repro.sim.task import IterSpace, LoopRegion, Program, SerialRegion, TaskRegion
 from repro.sim.trace import RegionResult, SimResult, WorkerStats
 
@@ -469,23 +470,26 @@ def estimate_program(
     total = 0.0
     if program.meta.get("pool_setup"):
         total += nthreads * (ctx.costs.thread_create + ctx.costs.thread_join)
-    for region in program:
-        kind, res = estimate_region(region, nthreads, ctx)
-        if kind == "exact":
-            bound = 0.0
-            scale = 1.0
-        else:
-            scale = cal.scale(kind, ver)
-            bound = cal.bound(kind, ver)
-            res = RegionResult(
-                time=res.time * scale, nthreads=res.nthreads, workers=res.workers, meta=res.meta
-            )
-        res.meta["tier"] = TIER_ANALYTIC
-        res.meta["estimator"] = kind
-        res.meta["scale"] = scale
-        res.meta["error_bound"] = bound
-        regions.append(res)
-        total += res.time
+    # detail span under the executor's cell.estimate: how much of the
+    # tier-0 path is estimation proper vs. program building around it
+    with _perf_span("tier0.estimate"):
+        for region in program:
+            kind, res = estimate_region(region, nthreads, ctx)
+            if kind == "exact":
+                bound = 0.0
+                scale = 1.0
+            else:
+                scale = cal.scale(kind, ver)
+                bound = cal.bound(kind, ver)
+                res = RegionResult(
+                    time=res.time * scale, nthreads=res.nthreads, workers=res.workers, meta=res.meta
+                )
+            res.meta["tier"] = TIER_ANALYTIC
+            res.meta["estimator"] = kind
+            res.meta["scale"] = scale
+            res.meta["error_bound"] = bound
+            regions.append(res)
+            total += res.time
     weight = sum(r.time for r in regions)
     if weight > 0:
         error_bound = sum(r.meta["error_bound"] * r.time for r in regions) / weight

@@ -30,6 +30,12 @@ number of executors — threads or processes — may share one cache
 directory; readers only ever observe absent or complete entries, and
 concurrent writers of the same key converge on identical content.
 Unreadable or truncated entries are treated as misses and overwritten.
+
+Host telemetry: when a :mod:`repro.perf` recording is active, every
+probe and store reports its latency (``cache.probe_seconds`` /
+``cache.store_seconds`` observations) and outcome (``cache.hit`` /
+``cache.miss`` / ``cache.store`` / ``cache.evict`` counters); with no
+recorder active the instrumentation is a single predicate per call.
 """
 
 from __future__ import annotations
@@ -41,8 +47,10 @@ import os
 import pathlib
 import threading
 from dataclasses import asdict
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Optional, Union
 
+from repro.perf.spans import current as _perf_current
 from repro.runtime.base import ExecContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -139,11 +147,20 @@ class ResultCache:
         misses: a crashed writer can at worst leave a stale ``*.tmp``
         file behind, never a half-visible entry.
         """
+        rec = _perf_current()
+        if rec is None:
+            try:
+                return json.loads(self.path_for(key).read_text())
+            except (OSError, ValueError):
+                return None
+        t0 = perf_counter()
         try:
-            text = self.path_for(key).read_text()
-            return json.loads(text)
+            payload = json.loads(self.path_for(key).read_text())
         except (OSError, ValueError):
-            return None
+            payload = None
+        rec.observe("cache.probe_seconds", perf_counter() - t0)
+        rec.count("cache.hit" if payload is not None else "cache.miss")
+        return payload
 
     def put(self, key: str, payload: dict[str, Any]) -> pathlib.Path:
         """Atomically store ``payload`` under ``key`` (write-then-rename).
@@ -152,6 +169,8 @@ class ResultCache:
         concurrent writers never collide on the staging file, and
         ``os.replace`` makes publication atomic on POSIX and Windows.
         """
+        rec = _perf_current()
+        t0 = perf_counter() if rec is not None else 0.0
         self.root.mkdir(parents=True, exist_ok=True)
         final = self.path_for(key)
         tmp = final.with_name(
@@ -166,6 +185,9 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if rec is not None:
+            rec.observe("cache.store_seconds", perf_counter() - t0)
+            rec.count("cache.store")
         return final
 
     # ------------------------------------------------------------------
@@ -213,6 +235,10 @@ class ResultCache:
                 evicted += 1
             except OSError:
                 continue
+        if evicted:
+            rec = _perf_current()
+            if rec is not None:
+                rec.count("cache.evict", evicted)
         return evicted
 
     def clear(self) -> int:

@@ -40,6 +40,15 @@ Progress and accounting go through one
 ``cache_hits`` / ``cache_misses`` / ``cache_stores`` /
 ``cache_evictions``, ``simulations`` and ``sweep_errors`` counters,
 plus the merged per-run metrics of every successful cell.
+
+Host telemetry (:mod:`repro.perf`) is threaded through every phase:
+the whole sweep runs under one perf recording whose snapshot is
+attached as ``SweepResult.perf``, with named spans for cache keying
+and probes (``cache.*``), payload encode/decode (``codec.*``),
+in-process simulation/estimation (``cell.*``) and process-pool fan-out
+(``fanout.*``) — the vocabulary ``repro perf report`` attributes host
+wall time in.  With ``REPRO_PERF_OFF=1`` (or outside any recording)
+all of it is inert and results are bit-identical.
 """
 
 from __future__ import annotations
@@ -54,6 +63,9 @@ from repro.core.experiment import PAPER_THREADS, ExperimentConfig, SweepResult
 from repro.core.registry import get_workload
 from repro.faults.policy import RegionFailedError
 from repro.obs.metrics import MetricsRegistry, result_metrics
+from repro.perf.spans import counter as perf_count
+from repro.perf.spans import recording as perf_recording
+from repro.perf.spans import span as perf_span
 from repro.runtime.base import ExecContext, ThreadExplosionError
 from repro.runtime.run import run_program
 from repro.sim.trace import SimResult
@@ -386,9 +398,44 @@ def run_sweep(
                  "cache_evictions", "simulations", "estimates", "sweep_errors"):
         reg.counter(name)
 
+    # Host telemetry (repro.perf): the whole sweep runs inside one
+    # recording whose snapshot lands on ``SweepResult.perf``.  With
+    # ``REPRO_PERF_OFF=1`` the recorder is None and every perf_span /
+    # perf_count below is a no-op — the simulation itself never sees
+    # any of this, so instrumented and uninstrumented sweeps are
+    # bit-identical.
+    with perf_recording("sweep") as host:
+        sweep = _run_sweep_cells(
+            spec, config, ctx, fid, reg, store, jobs=jobs, refresh=refresh,
+            trace=trace, validate=validate, fault_doc=fault_doc,
+            policy_doc=policy_doc, progress=progress,
+        )
+    if host is not None:
+        sweep.perf = host.snapshot()
+    return sweep
+
+
+def _run_sweep_cells(
+    spec,
+    config: ExperimentConfig,
+    ctx: ExecContext,
+    fid: int,
+    reg: MetricsRegistry,
+    store: Optional[ResultCache],
+    *,
+    jobs: int,
+    refresh: bool,
+    trace: bool,
+    validate: bool,
+    fault_doc,
+    policy_doc,
+    progress: Optional[ProgressFn],
+) -> SweepResult:
+    """Drive every cell through probe / simulate / assemble (see run_sweep)."""
     cells = expand_cells(config, fault_doc, policy_doc, fid)
     reg.counter("sweep_cells").inc(len(cells))
-    keys = [cache_key(c, ctx, trace=trace) for c in cells] if store is not None else []
+    with perf_span("cache.key"):
+        keys = [cache_key(c, ctx, trace=trace) for c in cells] if store is not None else []
 
     #: per-cell outcome: (SimResult | None, error message | None)
     outcomes: list[Optional[tuple[Optional[SimResult], Optional[str]]]]
@@ -413,12 +460,21 @@ def run_sweep(
     pending: list[int] = []
     for i in range(len(cells)):
         if store is not None and not refresh:
-            payload = store.get(keys[i])
-            decoded = _decode_entry(payload, fid) if payload is not None else None
+            with perf_span("cache.probe"):
+                payload = store.get(keys[i])
+            if payload is not None:
+                with perf_span("codec.decode"):
+                    decoded = _decode_entry(payload, fid)
+            else:
+                decoded = None
             if decoded is not None:
                 reg.counter("cache_hits").inc()
                 settle(i, decoded[0], decoded[1], "hit")
                 continue
+            if payload is not None:
+                # a stored entry the decoder refused: stale format or
+                # wrong tier stamp — re-simulated and overwritten below
+                perf_count("cache.corrupt")
         if store is not None:
             reg.counter("cache_misses").inc()
         pending.append(i)
@@ -427,7 +483,10 @@ def run_sweep(
                          merge: bool = True, counter: str = "simulations") -> None:
         reg.counter(counter).inc()
         if store is not None:
-            store.put(keys[i], _encode_entry(cells[i], res, err, trace))
+            with perf_span("codec.encode"):
+                doc = _encode_entry(cells[i], res, err, trace)
+            with perf_span("cache.store"):
+                store.put(keys[i], doc)
             reg.counter("cache_stores").inc()
         settle(i, res, err, "run", merge=merge)
 
@@ -436,7 +495,8 @@ def run_sweep(
         # tier 0: closed-form estimates, microseconds per cell — always
         # in-process, a worker pool would cost more than the work.
         for i in pending:
-            res, err = _estimate_cell_local(cells[i], ctx)
+            with perf_span("cell.estimate"):
+                res, err = _estimate_cell_local(cells[i], ctx)
             finish_simulated(i, res, err, counter="estimates")
         pool_ctx = None
         pending = []
@@ -446,18 +506,27 @@ def run_sweep(
         for i in pending:
             # serial path: run_program folds this run's metrics directly
             # into the sweep registry, so don't merge a second time.
-            res, err = _run_cell_local(cells[i], ctx, trace, validate, reg)
+            with perf_span("cell.simulate"):
+                res, err = _run_cell_local(cells[i], ctx, trace, validate, reg)
             finish_simulated(i, res, err, merge=False)
     else:
         workers = min(jobs, len(pending))
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, mp_context=pool_ctx
-        ) as pool:
-            futures = {
-                pool.submit(_exec_cell, _cell_payload(cells[i], ctx, trace, validate)): i
-                for i in pending
-            }
-            for fut in concurrent.futures.as_completed(futures):
+        with perf_span("fanout.pool"):
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=pool_ctx
+            )
+        try:
+            with perf_span("fanout.submit"):
+                futures = {
+                    pool.submit(_exec_cell, _cell_payload(cells[i], ctx, trace, validate)): i
+                    for i in pending
+                }
+            completed = concurrent.futures.as_completed(futures)
+            while True:
+                with perf_span("fanout.wait"):
+                    fut = next(completed, None)
+                if fut is None:
+                    break
                 i = futures[fut]
                 out = fut.result()
                 if "crash" in out:
@@ -465,8 +534,15 @@ def run_sweep(
                         f"sweep cell {cells[i].describe()} failed in worker: "
                         f"{out['crash']}\n{out.get('traceback', '')}"
                     )
-                res = codec.result_from_dict(out["result"]) if "result" in out else None
+                if "result" in out:
+                    with perf_span("codec.decode"):
+                        res = codec.result_from_dict(out["result"])
+                else:
+                    res = None
                 finish_simulated(i, res, out.get("error"))
+        finally:
+            with perf_span("fanout.pool"):
+                pool.shutdown()
 
     # -- phase 3: assemble + housekeeping ------------------------------
     sweep = SweepResult(config=config, figure=spec.figure, metrics=reg)
@@ -482,5 +558,7 @@ def run_sweep(
             for p in config.threads
         ]
     if store is not None and store.max_entries is not None:
-        reg.counter("cache_evictions").inc(store.prune())
+        with perf_span("cache.prune"):
+            evicted = store.prune()
+        reg.counter("cache_evictions").inc(evicted)
     return sweep

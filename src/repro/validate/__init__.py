@@ -97,19 +97,29 @@ def run_validation(
         from repro.faults.plan import FaultPlan
 
         FaultPlan.parse(inject)  # fail fast: bad specs are usage errors
+    # per-phase host-cost spans (repro.perf): `repro perf report` can
+    # say which battery dominates a validation run's wall time
+    from repro.perf.spans import span as perf_span
+
     report = ValidationReport()
-    run_registry_audit(
-        threads=(1, 4, 16, 36) if deep else (1, 4),
-        report=report,
-    )
-    run_differential_matrix(
-        threads=(1, 2, 4, 8, 16, 32) if deep else (1, 2, 4, 8),
-        report=report,
-    )
+    with perf_span("validate.registry_audit"):
+        run_registry_audit(
+            threads=(1, 4, 16, 36) if deep else (1, 4),
+            report=report,
+        )
+    with perf_span("validate.differential"):
+        run_differential_matrix(
+            threads=(1, 2, 4, 8, 16, 32) if deep else (1, 2, 4, 8),
+            report=report,
+        )
     nprog = programs if programs is not None else (100 if deep else 20)
-    run_property_suite(seed=seed, programs=nprog, report=report)
-    run_fault_matrix(threads=(1, 4, 16) if deep else (1, 4), report=report)
-    run_tier_audit(threads=(1, 4, 16) if deep else (1, 4), report=report)
+    with perf_span("validate.properties"):
+        run_property_suite(seed=seed, programs=nprog, report=report)
+    with perf_span("validate.faults"):
+        run_fault_matrix(threads=(1, 4, 16) if deep else (1, 4), report=report)
+    with perf_span("validate.tiers"):
+        run_tier_audit(threads=(1, 4, 16) if deep else (1, 4), report=report)
     if inject is not None:
-        run_fault_audit(inject, threads=(1, 4), report=report)
+        with perf_span("validate.inject"):
+            run_fault_audit(inject, threads=(1, 4), report=report)
     return report

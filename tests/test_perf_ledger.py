@@ -1,0 +1,135 @@
+"""Run-ledger tests: append/round-trip, concurrency, corruption tolerance.
+
+The ledger is append-only JSONL written with single ``O_APPEND`` writes,
+so records from concurrent writers must interleave as whole lines and a
+corrupt line must cost only itself.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sys
+
+from repro.perf.ledger import LEDGER_DIR_ENV, Ledger, ledger_dir, make_record
+from repro.perf.spans import PerfRecorder
+
+
+def _record(name="sweep:axpy", kind="sweep", wall=1.25):
+    rec = PerfRecorder("t")
+    rec.wall = wall
+    rec.cpu = wall * 0.9
+    rec.add_span("cell.simulate", wall * 0.8, wall * 0.7)
+    rec.count("cache.hit", 3)
+    rec.observe("cache.probe_seconds", 0.001)
+    return make_record(kind, name, rec, extra={"jobs": 2})
+
+
+class TestMakeRecord:
+    def test_from_recorder(self):
+        doc = _record()
+        assert doc["schema"] == 1
+        assert doc["kind"] == "sweep"
+        assert doc["name"] == "sweep:axpy"
+        assert doc["wall_seconds"] == 1.25
+        assert doc["spans"]["cell.simulate"]["count"] == 1
+        assert doc["counters"]["cache.hit"] == 3
+        assert doc["extra"] == {"jobs": 2}
+        env = doc["env"]
+        assert env["python"].startswith(f"{sys.version_info[0]}.")
+        assert "platform" in env and "cpu_count" in env
+
+    def test_from_snapshot_dict(self):
+        rec = PerfRecorder("t")
+        rec.wall, rec.cpu = 2.0, 1.5
+        rec.add_span("x", 1.0, 1.0)
+        doc = make_record("sweep", "s", rec.snapshot(), env=False)
+        assert doc["wall_seconds"] == 2.0
+        assert doc["cpu_seconds"] == 1.5
+        assert doc["spans"]["x"]["wall"] == 1.0
+        assert "env" not in doc
+
+    def test_none_recorder(self):
+        doc = make_record("bench", "b", None, env=False)
+        assert doc["wall_seconds"] == 0.0
+        assert "spans" not in doc
+
+
+class TestLedgerRoundTrip:
+    def test_append_and_read_back(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        out = ledger.append(_record())
+        assert "ts" in out
+        recs = list(ledger)
+        assert len(recs) == 1
+        assert recs[0]["name"] == "sweep:axpy"
+        assert recs[0]["spans"]["cell.simulate"]["wall"] > 0
+
+    def test_lazy_directory(self, tmp_path):
+        root = tmp_path / "nested" / "ledger"
+        ledger = Ledger(root)
+        assert not root.exists()
+        assert list(ledger) == []  # reading a missing ledger is empty, not an error
+        ledger.append(_record())
+        assert ledger.path.exists()
+
+    def test_filters_tail_last(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        for i in range(5):
+            ledger.append(_record(name=f"sweep:w{i % 2}", wall=float(i)))
+        assert len(ledger) == 5
+        w0 = ledger.records(name="sweep:w0")
+        assert [r["wall_seconds"] for r in w0] == [0.0, 2.0, 4.0]
+        assert len(ledger.tail(2)) == 2
+        last = ledger.last(name="sweep:w1")
+        assert last is not None and last["wall_seconds"] == 3.0
+        assert ledger.last(name="sweep:nope") is None
+        assert ledger.records(kind="bench") == []
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        ledger.append(_record(wall=1.0))
+        with open(ledger.path, "a") as fh:
+            fh.write("{torn json...\n")
+            fh.write("[1, 2, 3]\n")  # valid JSON but not a record object
+            fh.write("\n")
+        ledger.append(_record(wall=2.0))
+        recs = list(ledger)
+        assert [r["wall_seconds"] for r in recs] == [1.0, 2.0]
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(LEDGER_DIR_ENV, str(tmp_path / "override"))
+        assert ledger_dir() == tmp_path / "override"
+        assert Ledger().root == tmp_path / "override"
+        monkeypatch.delenv(LEDGER_DIR_ENV)
+        assert str(ledger_dir()).endswith("ledger")
+
+
+def _writer(root: str, worker: int, n: int) -> None:
+    ledger = Ledger(root)
+    for i in range(n):
+        ledger.append(
+            make_record("test", f"w{worker}", None, extra={"i": i}, env=False)
+        )
+
+
+class TestConcurrentWriters:
+    def test_parallel_appends_never_tear(self, tmp_path):
+        nproc, nrec = 4, 25
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_writer, args=(str(tmp_path), w, nrec))
+            for w in range(nproc)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        # every line parses (no interleaving) and every record arrived
+        lines = Ledger(tmp_path).path.read_text().splitlines()
+        assert len(lines) == nproc * nrec
+        docs = [json.loads(line) for line in lines]
+        for w in range(nproc):
+            mine = [d for d in docs if d["name"] == f"w{w}"]
+            assert sorted(d["extra"]["i"] for d in mine) == list(range(nrec))

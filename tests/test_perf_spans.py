@@ -1,0 +1,189 @@
+"""Unit tests for the host-telemetry span/counter primitives.
+
+The recording stack must be exact in its accounting (span arithmetic,
+nesting, merge) and *inert* when no recorder is active or when
+``REPRO_PERF_OFF=1`` disables telemetry entirely.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.spans import (
+    PERF_OFF_ENV,
+    PerfRecorder,
+    Stopwatch,
+    counter,
+    current,
+    observe,
+    perf_enabled,
+    recording,
+    span,
+)
+
+
+def _busy(n: int = 2_000) -> int:
+    return sum(range(n))
+
+
+class TestRecorderArithmetic:
+    def test_add_span_accumulates(self):
+        rec = PerfRecorder("t")
+        rec.add_span("x", 0.5, 0.4)
+        rec.add_span("x", 1.5, 1.0)
+        stat = rec.spans["x"]
+        assert stat.count == 2
+        assert stat.wall == pytest.approx(2.0)
+        assert stat.cpu == pytest.approx(1.4)
+        assert stat.min == pytest.approx(0.5)
+        assert stat.max == pytest.approx(1.5)
+
+    def test_counters_and_observations(self):
+        rec = PerfRecorder("t")
+        rec.count("hits")
+        rec.count("hits", 4)
+        rec.observe("lat", 2.0)
+        rec.observe("lat", 6.0)
+        assert rec.counters["hits"] == 5
+        obs = rec.observations["lat"].to_dict()
+        assert obs["count"] == 2
+        assert obs["total"] == pytest.approx(8.0)
+        assert obs["mean"] == pytest.approx(4.0)
+        assert obs["min"] == pytest.approx(2.0)
+        assert obs["max"] == pytest.approx(6.0)
+
+    def test_span_wall_sums_named(self):
+        rec = PerfRecorder("t")
+        rec.add_span("a", 1.0, 1.0)
+        rec.add_span("b", 2.0, 2.0)
+        rec.add_span("c", 4.0, 4.0)
+        assert rec.span_wall("a", "c") == pytest.approx(5.0)
+        assert rec.span_wall("missing") == 0.0
+
+    def test_merge_folds_everything(self):
+        parent, child = PerfRecorder("p"), PerfRecorder("c")
+        parent.add_span("x", 1.0, 1.0)
+        child.add_span("x", 3.0, 2.0)
+        child.add_span("y", 0.5, 0.5)
+        child.count("n", 7)
+        child.observe("lat", 1.0)
+        parent.merge(child)
+        assert parent.spans["x"].count == 2
+        assert parent.spans["x"].wall == pytest.approx(4.0)
+        assert parent.spans["y"].wall == pytest.approx(0.5)
+        assert parent.counters["n"] == 7
+        assert parent.observations["lat"].count == 1
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        rec = PerfRecorder("snap")
+        rec.add_span("b", 1.0, 1.0)
+        rec.add_span("a", 1.0, 1.0)
+        rec.count("k")
+        rec.observe("o", 1.0)
+        snap = rec.snapshot()
+        json.dumps(snap)  # must not raise
+        assert list(snap["spans"]) == ["a", "b"]
+        assert set(snap) == {
+            "label", "wall_seconds", "cpu_seconds",
+            "spans", "counters", "observations",
+        }
+
+
+class TestRecordingStack:
+    def test_no_recorder_means_noop(self):
+        assert current() is None
+        s1 = span("anything")
+        s2 = span("else")
+        assert s1 is s2  # shared null object: nothing allocated
+        with s1:
+            counter("c")
+            observe("o", 1.0)
+        assert current() is None
+
+    def test_recording_times_block(self):
+        with recording("blk") as rec:
+            assert current() is rec
+            with span("work"):
+                _busy()
+        assert current() is None
+        assert rec.wall > 0.0
+        assert rec.spans["work"].count == 1
+        assert rec.spans["work"].wall <= rec.wall
+
+    def test_nested_recording_folds_into_parent(self):
+        with recording("outer") as outer:
+            with recording("inner") as inner:
+                with span("leaf"):
+                    _busy()
+                counter("c", 3)
+        assert inner.spans["leaf"].count == 1
+        # the parent sees the leaf's detail plus one span for the block
+        assert outer.spans["leaf"].count == 1
+        assert outer.spans["inner"].count == 1
+        assert outer.counters["c"] == 3
+
+    def test_recording_pops_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with recording("boom"):
+                raise RuntimeError("x")
+        assert current() is None
+
+    def test_counter_batched_increment(self):
+        with recording() as rec:
+            counter("evicted", 5)
+            counter("evicted", 2)
+        assert rec.counters["evicted"] == 7
+
+    def test_stack_is_thread_local(self):
+        # concurrent recorders on different threads must not interleave
+        # (the sweep tests race two executors in one process)
+        import threading
+
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def work(tag):
+            try:
+                with recording(tag) as rec:
+                    barrier.wait(timeout=10)  # both recordings open at once
+                    with span("leaf"):
+                        counter(tag)
+                    barrier.wait(timeout=10)
+                assert rec.counters == {tag: 1}
+                assert rec.spans["leaf"].count == 1
+                assert current() is None
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestPerfOff:
+    def test_perf_enabled_env(self, monkeypatch):
+        monkeypatch.delenv(PERF_OFF_ENV, raising=False)
+        assert perf_enabled()
+        monkeypatch.setenv(PERF_OFF_ENV, "1")
+        assert not perf_enabled()
+
+    def test_recording_disabled_yields_none(self, monkeypatch):
+        monkeypatch.setenv(PERF_OFF_ENV, "1")
+        with recording("off") as rec:
+            assert rec is None
+            assert current() is None
+            with span("never"):
+                counter("never")
+        assert current() is None
+
+    def test_stopwatch_works_regardless(self, monkeypatch):
+        monkeypatch.setenv(PERF_OFF_ENV, "1")
+        with Stopwatch() as sw:
+            _busy()
+        assert sw.wall > 0.0
+        assert sw.cpu >= 0.0
