@@ -1,0 +1,84 @@
+"""Task Bench overhead-vs-grain curves per runtime.
+
+Task Bench's headline metric is the **minimum effective task
+granularity** (METG): sweep the per-task compute grain downward on a
+fixed dependency grid and find the smallest grain at which a runtime
+still reaches a target efficiency.  The gap between runtimes at small
+grains *is* their scheduling overhead — exactly the quantity the
+paper's fib figure measures on one shape, generalized here to a
+parameterized graph.
+
+This benchmark sweeps the default stencil grid (32 wide x 8 steps) at
+p = 8 over grains from 0.5 us to 100 us per task for every
+task-capable runtime, prints the overhead table plus each runtime's
+METG (50% efficiency), and asserts the Task Bench ordering: the
+thread-per-task C++11 versions pay the most, OpenMP's locked deques
+sit above Cilk's THE protocol, and everyone converges toward the ideal
+as the grain grows.
+"""
+
+from conftest import run_once
+
+from repro.workloads.taskgraph import (
+    DEFAULT_GRAINS,
+    TASKBENCH_VERSIONS,
+    met_sweep,
+    minimum_effective_grain,
+)
+
+PATTERN = "stencil"
+WIDTH = 32
+STEPS = 8
+P = 8
+MET_EFFICIENCY = 0.5
+
+
+def bench_taskbench(benchmark, ctx, save):
+    curves = run_once(
+        benchmark,
+        lambda: met_sweep(
+            TASKBENCH_VERSIONS, DEFAULT_GRAINS,
+            pattern=PATTERN, width=WIDTH, steps=STEPS, nthreads=P,
+            ctx=ctx, fidelity=2,
+        ),
+    )
+    met = {v: minimum_effective_grain(curves[v], MET_EFFICIENCY)
+           for v in TASKBENCH_VERSIONS}
+
+    header = "grain      " + "".join(f"{v:>12s}" for v in TASKBENCH_VERSIONS)
+    rows = []
+    for i, grain in enumerate(sorted(DEFAULT_GRAINS)):
+        cells = "".join(
+            f"{curves[v][i].overhead:12.3f}" for v in TASKBENCH_VERSIONS
+        )
+        rows.append(f"{grain * 1e6:7.1f} us {cells}")
+    met_line = "METG       " + "".join(
+        f"{met[v] * 1e6:10.1f}us" if met[v] is not None else f"{'-':>12s}"
+        for v in TASKBENCH_VERSIONS
+    )
+    save(
+        "taskbench",
+        f"Task Bench {PATTERN} {WIDTH}x{STEPS} at p={P}: "
+        f"overhead ratio (T/ideal - 1) per task grain\n"
+        + header + "\n" + "\n".join(rows) + "\n"
+        + met_line + f"   (efficiency >= {MET_EFFICIENCY})",
+    )
+
+    # the Task Bench overhead ordering must hold at the smallest grain
+    # for all four runtimes: thread-per-task > async futures > OpenMP
+    # tasks (locked deques) > Cilk spawns (THE deques)
+    first = {v: curves[v][0].overhead for v in TASKBENCH_VERSIONS}
+    assert (
+        first["cxx_thread"] > first["cxx_async"]
+        > first["omp_task"] > first["cilk_spawn"] > 0.0
+    ), first
+    # growing the grain must amortize every runtime's overhead away
+    for v in TASKBENCH_VERSIONS:
+        assert curves[v][-1].overhead < first[v]
+        assert curves[v][-1].efficiency >= MET_EFFICIENCY, (v, curves[v][-1])
+    # hence every runtime has a finite METG, ordered the same way
+    assert all(met[v] is not None for v in TASKBENCH_VERSIONS), met
+    assert (
+        met["cilk_spawn"] <= met["omp_task"]
+        <= met["cxx_async"] <= met["cxx_thread"]
+    ), met

@@ -20,6 +20,11 @@ Commands mirror the paper's artifacts:
   executor with content-addressed result caching (``--jobs N``
   fans cells out across processes; a second invocation replays
   cached cells without simulating);
+- ``synth``        — seeded workload synthesizer: generate N apps from
+  the kernel pool (stable names hash the seed + config), print their
+  canonical spec digests and sweep cache keys (stdout is deterministic:
+  two invocations with the same seed are bit-identical), optionally
+  sweep (``--run``) and audit (``--validate``) them;
 - ``faults``       — inject deterministic faults into one run and
   report the model's Table III error-handling semantics: useful vs
   wasted work, cancellation, retries (``--list-demos`` enumerates the
@@ -117,6 +122,29 @@ def build_parser() -> argparse.ArgumentParser:
                           "vectorized fast paths, 0 closed-form analytic "
                           "estimates with calibrated error bounds, auto = "
                           "cheapest tier the sweep's options allow")
+
+    syn = sub.add_parser(
+        "synth", help="seeded workload synthesizer: generate, sweep, validate"
+    )
+    syn.add_argument("--seed", type=int, default=0,
+                     help="master seed (per-app seeds derive from it)")
+    syn.add_argument("--count", type=int, default=5,
+                     help="number of applications to synthesize")
+    syn.add_argument("--threads", type=int, nargs="+", default=None,
+                     help="thread counts for cache keys and --run sweeps")
+    syn.add_argument("--fidelity", choices=("0", "1", "2"), default="0",
+                     help="simulation tier for --run sweeps (and the "
+                          "printed cache keys)")
+    syn.add_argument("--run", action="store_true",
+                     help="run an uncached sweep over every generated app "
+                          "(simulated results on stdout, host wall time on "
+                          "stderr)")
+    syn.add_argument("--validate", action="store_true",
+                     help="run the synthesized-program audit battery "
+                          "(spec stability, determinism, invariants, "
+                          "speedup ordering); violations exit 1")
+    syn.add_argument("--json", dest="json_out", default=None,
+                     help="write the specs, digests and cache keys as JSON")
 
     flt = sub.add_parser(
         "faults", help="fault-injected run: error-handling semantics in action"
@@ -433,6 +461,111 @@ def _ledger_append(kind: str, name: str, snapshot, *, extra=None) -> None:
         update_trajectory(record, ledger.root)
     except OSError as exc:  # pragma: no cover - depends on host FS state
         print(f"warning: could not append to run ledger: {exc}", file=sys.stderr)
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    import hashlib
+    import json
+
+    from repro.core.experiment import PAPER_THREADS
+    from repro.perf.spans import recording
+    from repro.runtime.base import ExecContext
+    from repro.sweep.cache import cache_key
+    from repro.sweep.cells import SweepCell
+    import contextlib
+
+    from repro.workloads.synth import generate, registered
+
+    threads = tuple(args.threads) if args.threads else PAPER_THREADS
+    fidelity = int(args.fidelity)
+    ctx = ExecContext()
+    failed = False
+    # scoped registration: in-process callers (tests, libraries driving
+    # main()) must not find synthesized names in the registry afterwards
+    with contextlib.ExitStack() as stack, recording("synth") as host:
+        specs = stack.enter_context(registered(generate(args.seed, args.count)))
+        docs = []
+        print(f"synth: seed={args.seed} count={args.count} "
+              f"threads={list(threads)} fidelity={fidelity}")
+        for spec in specs:
+            keys = {
+                f"{version}/p{p}": cache_key(
+                    SweepCell(spec.name, version, p, {}, fidelity=fidelity), ctx
+                )
+                for version in spec.versions
+                for p in threads
+            }
+            cells_digest = hashlib.sha256(
+                "".join(keys[k] for k in sorted(keys)).encode()
+            ).hexdigest()
+            kernels = "/".join(sorted({ph["kernel"] for ph in spec.recipe}))
+            print(f"{spec.name}  seed={spec.seed}  phases={len(spec.recipe)}  "
+                  f"kernels={kernels}  f={spec.fraction:.3f}")
+            print(f"  spec-digest  {spec.digest()}")
+            print(f"  cache-keys   {cells_digest}  ({len(keys)} cells)")
+            docs.append({"spec": spec.document(), "spec_digest": spec.digest(),
+                         "cache_keys": keys, "cache_keys_digest": cells_digest})
+        batch = hashlib.sha256(
+            "".join(d["spec_digest"] + d["cache_keys_digest"] for d in docs).encode()
+        ).hexdigest()
+        print(f"batch-digest   {batch}")
+        if args.run:
+            from repro.sweep import run_sweep
+
+            for spec in specs:
+                sweep = run_sweep(
+                    spec.name, threads=threads, cache=None, fidelity=fidelity
+                )
+                wall = sweep.host_wall_seconds if sweep.perf else 0.0
+                # simulated results are deterministic -> stdout; the
+                # host wall time is not -> stderr
+                for version in sweep.versions:
+                    times = " ".join(
+                        f"p{p}={sweep.results[(version, p)].time:.6g}"
+                        for p in sweep.threads
+                    )
+                    print(f"  {spec.name} {version:11s} {times}")
+                print(
+                    f"  {spec.name}: {len(sweep.versions) * len(sweep.threads)} "
+                    f"cells in {wall:.3f}s "
+                    f"(simulated={sweep.counter('simulations')}, "
+                    f"estimated={sweep.counter('estimates')})",
+                    file=sys.stderr,
+                )
+        if args.validate:
+            from repro.validate import run_synth_audit
+
+            report = run_synth_audit(seed=args.seed, count=args.count, ctx=ctx)
+            print(report.describe())
+            failed = not report.ok
+    if args.json_out:
+        import pathlib
+
+        out = pathlib.Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "seed": args.seed,
+            "count": args.count,
+            "threads": list(threads),
+            "fidelity": fidelity,
+            "batch_digest": batch,
+            "workloads": docs,
+        }
+        out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote synth manifest to {out}", file=sys.stderr)
+    _ledger_append(
+        "synth",
+        f"synth:{args.seed}x{args.count}",
+        host.snapshot() if host is not None else None,
+        extra={
+            "seed": int(args.seed),
+            "count": int(args.count),
+            "fidelity": str(fidelity),
+            "ran": bool(args.run),
+            "validated": bool(args.validate),
+        },
+    )
+    return 1 if failed else 0
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -817,6 +950,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "synth":
+        return _cmd_synth(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "perf":

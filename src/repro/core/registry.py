@@ -68,7 +68,15 @@ class WorkloadSpec:
         params.update(overrides)
         if self.kind == "kernel":
             return build_kernel_program(self.name, version, machine, **params)
-        return build_rodinia_program(self.name, version, machine, **params)
+        if self.kind == "taskgraph":
+            # imported lazily: repro.workloads pulls the synthesizer in,
+            # which imports this module back (cycle at import time only)
+            from repro.workloads.taskgraph import build_taskgraph_program
+
+            return build_taskgraph_program(self.name, version, machine, **params)
+        if self.kind == "rodinia":
+            return build_rodinia_program(self.name, version, machine, **params)
+        raise ValueError(f"{self.name} has unknown workload kind {self.kind!r}")
 
 
 WORKLOADS: dict[str, WorkloadSpec] = {}
@@ -196,6 +204,18 @@ _add(
         default_params={"grid": 2048, "iters": 10},
         validation_params={"grid": 192, "iters": 2},
         description="speckle-reducing anisotropic diffusion stencil",
+    )
+)
+_add(
+    WorkloadSpec(
+        name="taskbench",
+        kind="taskgraph",
+        figure="Fig. T1 (ext)",
+        versions=("omp_task", "cilk_spawn", "cxx_thread", "cxx_async"),
+        paper_params={"pattern": "stencil", "width": 256, "steps": 32, "grain": 1e-5},
+        default_params={"pattern": "stencil", "width": 32, "steps": 8, "grain": 5e-6},
+        validation_params={"pattern": "stencil", "width": 8, "steps": 4, "grain": 2e-6},
+        description="Task Bench dependency grid (stencil/tree/fft/random patterns)",
     )
 )
 

@@ -628,14 +628,14 @@ DEFAULT_CALIBRATION = Calibration(
     scales={
         "steal_cilkfor": 1.070199,
         "steal_flat": 1.064074,
-        "steal_graph": 1.127180,
+        "steal_graph": 1.337380,
         "ws_dynamic": 1.046891,
         "ws_guided": 0.843019,
     },
     bounds={
         "steal_cilkfor": 0.434975,
         "steal_flat": 0.528671,
-        "steal_graph": 0.178975,
+        "steal_graph": 0.441725,
         "ws_dynamic": 0.104426,
         "ws_guided": 0.252766,
     },

@@ -26,7 +26,11 @@ independent layers of correctness tooling:
 - :mod:`repro.validate.tiers` — the fidelity-tier audit: tier-0
   analytic estimates within their calibrated error bounds and tier-1
   fast-path runs bit-identical (results *and* traces) to the tier-2
-  reference, across the whole registry.
+  reference, across the whole registry;
+- :mod:`repro.validate.synth` — the synthesized-workload audit:
+  seeded apps from :mod:`repro.workloads.synth` are re-synthesized
+  (spec stability), run twice per cell (determinism), invariant-checked
+  and speedup-ordered across the full version matrix.
 
 ``repro validate [--deep] [--inject SPEC]`` runs all of them;
 ``run_program(..., validate=True)`` runs the cheap invariant pass on a
@@ -51,6 +55,7 @@ from repro.validate.invariants import (
     check_result,
 )
 from repro.validate.properties import random_program, run_property_suite
+from repro.validate.synth import run_synth_audit
 from repro.validate.tiers import run_tier_audit
 
 __all__ = [
@@ -68,6 +73,7 @@ __all__ = [
     "run_fault_matrix",
     "run_property_suite",
     "run_registry_audit",
+    "run_synth_audit",
     "run_tier_audit",
     "run_validation",
 ]
@@ -119,6 +125,13 @@ def run_validation(
         run_fault_matrix(threads=(1, 4, 16) if deep else (1, 4), report=report)
     with perf_span("validate.tiers"):
         run_tier_audit(threads=(1, 4, 16) if deep else (1, 4), report=report)
+    with perf_span("validate.synth"):
+        run_synth_audit(
+            seed=seed,
+            count=5 if deep else 3,
+            threads=(1, 4, 16) if deep else (1, 4),
+            report=report,
+        )
     if inject is not None:
         with perf_span("validate.inject"):
             run_fault_audit(inject, threads=(1, 4), report=report)

@@ -1,0 +1,120 @@
+"""Synthesized-workload audit: the differential oracle over generated apps.
+
+Generated workloads are only trustworthy if they are deterministic and
+invariant-clean, so this battery samples ``count`` applications from
+the seeded synthesizer (:mod:`repro.workloads.synth`) and pushes each
+through the full version matrix:
+
+- **spec stability** — re-synthesizing from the same seed must yield a
+  bit-identical spec document (name, fraction, recipe);
+- **determinism** — building and running the same cell twice must
+  produce bit-identical results (compared on the codec form, the same
+  representation the sweep cache stores);
+- **invariants** — every run goes through the cheap invariant pass
+  (``run_program(validate=True)``): interval overlap, work
+  conservation, makespan lower bounds;
+- **speedup ordering** — more threads must never slow an app down
+  beyond the modelled overhead slack (thread-per-task versions get a
+  per-thread creation allowance per phase).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.validate.invariants import ValidationReport
+
+__all__ = ["run_synth_audit"]
+
+#: More threads may never cost more than this multiple of T_1 (same
+#: rationale as the differential matrix's speedup slack).
+_SPEEDUP_SLACK = 1.25
+
+
+def run_synth_audit(
+    seed: int = 0,
+    count: int = 3,
+    *,
+    threads: Sequence[int] = (1, 4),
+    ctx=None,
+    config=None,
+    report: Optional[ValidationReport] = None,
+) -> ValidationReport:
+    """Audit ``count`` synthesized apps across the full version matrix."""
+    from repro.runtime.base import ExecContext
+    from repro.runtime.run import run_program
+    from repro.sweep.codec import result_to_dict
+    from repro.workloads.synth import DEFAULT_CONFIG, generate, synthesize
+
+    rep = report if report is not None else ValidationReport()
+    ctx = ctx or ExecContext()
+    cfg = config if config is not None else DEFAULT_CONFIG
+    specs = generate(seed, count, cfg)
+    names = {s.name for s in specs}
+    rep.check(
+        len(names) == len(specs),
+        "synth-name-collision",
+        f"synth[seed={seed}]",
+        f"{len(specs)} specs share {len(names)} names",
+    )
+    costs = ctx.costs
+    per_thread_unit = max(
+        costs.thread_create + costs.thread_join, costs.async_create + costs.future_get
+    )
+    # chunk tasks on the stealing runtimes: spawn + (possibly contended)
+    # steal + join bookkeeping, per chunk, and the chunk count scales
+    # with p (chunks_per_thread * p per phase)
+    per_task_unit = max(
+        costs.omp_task_spawn + costs.locked_steal + costs.taskwait,
+        costs.the_steal + costs.steal_latency,
+    )
+    for spec in specs:
+        where = f"synth[{spec.name}]"
+        replay = synthesize(spec.seed, cfg)
+        rep.check(
+            replay.document() == spec.document(),
+            "synth-spec-stability",
+            where,
+            "re-synthesizing the same seed produced a different spec",
+        )
+        for version in spec.versions:
+            results = {}
+            for p in threads:
+                r1 = run_program(
+                    spec.build(version, ctx.machine), p, ctx, version, validate=True
+                )
+                r2 = run_program(
+                    spec.build(version, ctx.machine), p, ctx, version
+                )
+                rep.check(
+                    result_to_dict(r1) == result_to_dict(r2),
+                    "synth-determinism",
+                    f"{where} {version} p={p}",
+                    f"repeated runs disagree: {r1.time!r} vs {r2.time!r}",
+                )
+                results[p] = r1
+            if 1 in results:
+                t1 = results[1].time
+                # thread-per-task versions pay a modelled per-thread
+                # creation cost in every phase; task versions pay per
+                # chunk task, and chunk counts scale with p
+                if version.startswith("cxx"):
+                    per_p = len(spec.recipe) * per_thread_unit
+                elif version in ("omp_task", "cilk_spawn"):
+                    per_p = sum(
+                        ph["chunks_per_thread"] for ph in spec.recipe
+                    ) * per_task_unit
+                else:
+                    per_p = 0.0
+                for p, res in results.items():
+                    if p <= 1:
+                        continue
+                    allowed = t1 * _SPEEDUP_SLACK + p * per_p
+                    rep.check(
+                        res.time <= allowed,
+                        "synth-speedup-ordering",
+                        f"{where} {version} p={p}",
+                        f"T_{p} {res.time:.9g} exceeds allowed {allowed:.9g} "
+                        f"({_SPEEDUP_SLACK}x T_1 {t1:.9g})",
+                    )
+    return rep

@@ -1,0 +1,59 @@
+"""Generated workloads: Task Bench-style task graphs and the seeded
+application synthesizer.
+
+The paper evaluates fixed kernels, so every conclusion is conditioned
+on a handful of workload shapes.  This package widens the scenario
+space in two deterministic ways:
+
+- :mod:`repro.workloads.taskgraph` — a parameterized dependency-graph
+  workload (stencil / tree / fft / random patterns with tunable width,
+  depth and per-task grain, after Task Bench) registered as the
+  ``taskbench`` workload, plus a minimum-effective-task-granularity
+  sweep helper;
+- :mod:`repro.workloads.synth` — a seeded synthesizer that composes
+  applications from the loop-kernel pool with randomized parallel
+  fraction, kernel coverage and grain distributions, producing
+  first-class :class:`~repro.core.registry.WorkloadSpec` objects whose
+  names hash the seed + config (so sweep cache keys are reproducible).
+
+Everything here is a pure function of its seed and parameters: the
+same inputs always yield bit-identical graphs, specs and cache keys,
+which the generator test battery (``tests/test_taskgraph.py``,
+``tests/test_workload_synth.py``) enforces.
+"""
+
+from repro.workloads.synth import (
+    DEFAULT_CONFIG,
+    SynthConfig,
+    SynthWorkloadSpec,
+    generate,
+    registered,
+    synthesize,
+)
+from repro.workloads.taskgraph import (
+    PATTERNS,
+    TASKBENCH_VERSIONS,
+    GrainPoint,
+    met_sweep,
+    minimum_effective_grain,
+    program,
+    taskbench_graph,
+    tree_levels,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "GrainPoint",
+    "PATTERNS",
+    "SynthConfig",
+    "SynthWorkloadSpec",
+    "TASKBENCH_VERSIONS",
+    "generate",
+    "met_sweep",
+    "minimum_effective_grain",
+    "program",
+    "registered",
+    "synthesize",
+    "taskbench_graph",
+    "tree_levels",
+]

@@ -1,0 +1,258 @@
+"""Seeded workload synthesizer: randomized apps from the kernel pool.
+
+Following the lumos ``model/workload.py`` pattern (SNIPPETS.md), an
+application is composed from the existing data-parallel kernel pool by
+a seeded RNG: each kernel *occurs* with probability ``coverage``
+(Bernoulli), the app's parallel fraction ``f`` is drawn from a range,
+and every phase draws a kernel, a problem size and grain parameters
+(schedule, chunks per thread, Cilk grainsize).  The result is a
+**recipe** — a plain JSON-able document — and a
+:class:`SynthWorkloadSpec`, a first-class frozen
+:class:`~repro.core.registry.WorkloadSpec` whose :meth:`build` turns
+the recipe into a :class:`~repro.sim.task.Program` for any of the six
+versions.
+
+Determinism is the load-bearing property: the spec's **name is the
+hash of seed + config** (``synth-<sha256 prefix>``), so registering a
+synthesized app and sweeping it produces cache keys that reproduce
+across processes and sessions.  Same seed, same config: bit-identical
+recipe, name, program and simulation; distinct seeds: distinct names,
+hence distinct sweep cache keys.  ``tests/test_workload_synth.py``
+pins all of this.
+
+Serial regions are interleaved before every parallel phase so the
+app's parallel fraction matches the drawn ``f``: each phase's serial
+share is ``parallel_work * (1 - f) / f`` of that phase's loop work
+(computed at build time from the machine's cost model, so the recipe
+itself stays machine-independent).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Optional, Sequence
+
+from repro.core.registry import WORKLOADS, WorkloadSpec
+from repro.models import VERSIONS
+from repro.sim.machine import Machine
+from repro.sim.task import Program, SerialRegion
+
+__all__ = [
+    "BASE_SIZES",
+    "DEFAULT_CONFIG",
+    "KERNEL_POOL",
+    "SynthConfig",
+    "SynthWorkloadSpec",
+    "generate",
+    "register",
+    "registered",
+    "synthesize",
+]
+
+#: Loop kernels the synthesizer composes from (fib is task-only and has
+#: no iteration space to re-grain, so it stays out of the pool).
+KERNEL_POOL = ("axpy", "sum", "matvec", "matmul")
+
+#: Per-kernel base problem sizes — validation scale, so a synthesized
+#: app stays cheap enough for tier-2 differential checking.
+BASE_SIZES: Mapping[str, int] = {
+    "axpy": 120_000,
+    "sum": 120_000,
+    "matvec": 1_500,
+    "matmul": 96,
+}
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Distribution parameters of the synthesizer (all seed-independent).
+
+    ``coverage`` is the per-kernel Bernoulli occurrence probability;
+    ``parallel_fraction`` and ``size_scale`` are uniform ranges;
+    ``grainsizes`` uses ``0`` for "runtime default".
+    """
+
+    kernels: tuple[str, ...] = KERNEL_POOL
+    sizes: Mapping[str, int] = field(default_factory=lambda: dict(BASE_SIZES))
+    min_phases: int = 2
+    max_phases: int = 5
+    coverage: float = 0.75
+    parallel_fraction: tuple[float, float] = (0.70, 0.98)
+    size_scale: tuple[float, float] = (0.25, 1.0)
+    schedules: tuple[str, ...] = ("static", "dynamic", "guided")
+    chunks_per_thread: tuple[int, ...] = (1, 2, 4, 8)
+    grainsizes: tuple[int, ...] = (0, 64, 256, 1024)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-able form (hashed into every spec name)."""
+        return {
+            "kernels": list(self.kernels),
+            "sizes": {k: int(self.sizes[k]) for k in sorted(self.sizes)},
+            "min_phases": self.min_phases,
+            "max_phases": self.max_phases,
+            "coverage": self.coverage,
+            "parallel_fraction": list(self.parallel_fraction),
+            "size_scale": list(self.size_scale),
+            "schedules": list(self.schedules),
+            "chunks_per_thread": list(self.chunks_per_thread),
+            "grainsizes": list(self.grainsizes),
+        }
+
+
+DEFAULT_CONFIG = SynthConfig()
+
+
+def _digest(doc: Any) -> str:
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SynthWorkloadSpec(WorkloadSpec):
+    """A synthesized application as a first-class registry spec.
+
+    Extra fields carry the generator provenance; :meth:`build` replays
+    the recipe instead of dispatching on ``kind``.
+    """
+
+    seed: int = 0
+    fraction: float = 1.0
+    recipe: tuple = ()
+
+    def build(self, version: str, machine: Machine, **overrides: Any) -> Program:
+        from repro.kernels.common import dispatch_loop, kernel_module
+
+        if version not in self.versions:
+            raise ValueError(
+                f"{self.name} has no {version!r} version; available: {self.versions}"
+            )
+        if overrides:
+            raise ValueError(
+                f"synthesized workload {self.name} takes no parameter overrides "
+                f"(got {sorted(overrides)}); regenerate with a different config"
+            )
+        prog = Program(
+            self.name,
+            meta={"version": version, "kernel": "synth", "seed": self.seed},
+        )
+        serial_ratio = (1.0 - self.fraction) / self.fraction
+        for i, phase in enumerate(self.recipe):
+            space = kernel_module(phase["kernel"]).space(machine, phase["n"])
+            prog.add(
+                SerialRegion(space.total_work * serial_ratio, name=f"serial[{i}]")
+            )
+            prog.add(
+                dispatch_loop(
+                    version,
+                    space,
+                    reduction=phase["kernel"] == "sum",
+                    schedule=phase["schedule"],
+                    chunks_per_thread=phase["chunks_per_thread"],
+                    grainsize=phase["grainsize"] or None,
+                )
+            )
+        return prog
+
+    def document(self) -> dict[str, Any]:
+        """Canonical JSON-able form of the whole spec — the unit of the
+        bit-identity contract (CLI output, property tests)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "fraction": self.fraction,
+            "recipe": [dict(p) for p in self.recipe],
+            "versions": list(self.versions),
+        }
+
+    def digest(self) -> str:
+        return _digest(self.document())
+
+
+def synthesize(seed: int, config: SynthConfig = DEFAULT_CONFIG) -> SynthWorkloadSpec:
+    """Deterministically synthesize one application from ``seed``.
+
+    The spec's name hashes ``(seed, config)``, so equal inputs yield
+    the identical spec (and sweep cache keys), and distinct seeds get
+    distinct names.
+    """
+    name = f"synth-{_digest({'schema': 1, 'seed': seed, 'config': config.to_dict()})[:12]}"
+    rng = random.Random(seed)
+    occurring = [k for k in config.kernels if rng.random() < config.coverage]
+    if not occurring:
+        occurring = [rng.choice(config.kernels)]
+    fraction = rng.uniform(*config.parallel_fraction)
+    nphases = rng.randint(config.min_phases, config.max_phases)
+    recipe = []
+    for _ in range(nphases):
+        kernel = rng.choice(occurring)
+        scale = rng.uniform(*config.size_scale)
+        recipe.append(
+            {
+                "kernel": kernel,
+                "n": max(16, int(config.sizes[kernel] * scale)),
+                "schedule": rng.choice(config.schedules),
+                "chunks_per_thread": rng.choice(config.chunks_per_thread),
+                "grainsize": rng.choice(config.grainsizes),
+            }
+        )
+    return SynthWorkloadSpec(
+        name=name,
+        kind="synth",
+        figure="Fig. S (synth)",
+        versions=VERSIONS,
+        paper_params={},
+        default_params={},
+        description=(
+            f"synthesized app (seed {seed}): {nphases} phases over "
+            f"{'/'.join(sorted(set(p['kernel'] for p in recipe)))}, "
+            f"parallel fraction {fraction:.2f}"
+        ),
+        seed=seed,
+        fraction=fraction,
+        recipe=tuple(recipe),
+    )
+
+
+def generate(
+    seed: int, count: int, config: SynthConfig = DEFAULT_CONFIG
+) -> list[SynthWorkloadSpec]:
+    """Synthesize ``count`` applications from one master ``seed``.
+
+    Per-app seeds derive from the master seed's RNG stream, so the
+    whole batch is a pure function of ``(seed, count, config)``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = random.Random(seed)
+    return [synthesize(rng.getrandbits(48), config) for _ in range(count)]
+
+
+def register(specs: Sequence[SynthWorkloadSpec]) -> None:
+    """Register synthesized specs for this process (sweep workers fork,
+    so dynamically registered names resolve in them too)."""
+    for spec in specs:
+        WORKLOADS[spec.name] = spec
+
+
+@contextlib.contextmanager
+def registered(
+    specs: Sequence[SynthWorkloadSpec],
+) -> Iterator[Sequence[SynthWorkloadSpec]]:
+    """Temporarily register specs; restores the registry on exit (so
+    tests and audits never leak synthesized names)."""
+    saved: dict[str, Optional[WorkloadSpec]] = {
+        s.name: WORKLOADS.get(s.name) for s in specs
+    }
+    register(specs)
+    try:
+        yield specs
+    finally:
+        for name, old in saved.items():
+            if old is None:
+                WORKLOADS.pop(name, None)
+            else:
+                WORKLOADS[name] = old

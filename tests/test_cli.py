@@ -267,3 +267,58 @@ class TestFaultsCommand:
         assert doc["summary"]["wasted_seconds"] > 0
         assert doc["metrics"]["gauges"]["wasted_work_seconds"] > 0
         assert doc["inject"] == "fail:task=5"
+
+
+class TestSynthCommand:
+    ARGS = ["synth", "--seed", "7", "--count", "2", "--threads", "1", "4"]
+
+    def test_synth_stdout_is_deterministic(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        assert capsys.readouterr().out == first
+        assert "spec-digest" in first and "batch-digest" in first
+
+    def test_synth_seed_changes_digests(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(["synth", "--seed", "8", "--count", "2",
+                     "--threads", "1", "4"]) == 0
+        second = capsys.readouterr().out
+        digests = lambda out: [  # noqa: E731
+            line for line in out.splitlines() if "spec-digest" in line
+        ]
+        assert set(digests(first)).isdisjoint(digests(second))
+
+    def test_synth_run_prints_simulated_times(self, capsys):
+        assert main(self.ARGS + ["--run"]) == 0
+        out = capsys.readouterr().out
+        assert "p1=" in out and "p4=" in out
+
+    def test_synth_run_tier2_matches_fidelity_flag(self, capsys):
+        assert main(self.ARGS + ["--run", "--fidelity", "2"]) == 0
+        assert "fidelity=2" in capsys.readouterr().out
+
+    def test_synth_validate_clean_exit(self, capsys):
+        assert main(self.ARGS + ["--validate"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_synth_json_manifest(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "m" / "manifest.json"
+        assert main(self.ARGS + ["--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["seed"] == 7 and len(doc["workloads"]) == 2
+        assert doc["batch_digest"]
+        for spec in doc["workloads"]:
+            assert spec["spec"]["name"].startswith("synth-")
+            assert spec["spec"]["recipe"]
+            assert spec["cache_keys"]
+
+    def test_synth_does_not_leak_registry_names(self):
+        from repro.core.registry import WORKLOADS
+
+        before = set(WORKLOADS)
+        assert main(self.ARGS) == 0
+        assert set(WORKLOADS) == before

@@ -29,10 +29,11 @@ def fib_sweep():
 
 
 class TestRegistry:
-    def test_ten_workloads(self):
-        assert len(WORKLOADS) == 10
+    def test_eleven_workloads(self):
+        assert len(WORKLOADS) == 11
         assert {"axpy", "sum", "matvec", "matmul", "fib",
-                "bfs", "hotspot", "lud", "lavamd", "srad"} == set(WORKLOADS)
+                "bfs", "hotspot", "lud", "lavamd", "srad",
+                "taskbench"} == set(WORKLOADS)
 
     def test_each_has_figure(self):
         for spec in WORKLOADS.values():

@@ -410,3 +410,48 @@ class TestSweepFaults:
         f2 = expand_cells(cfg, FaultPlan.parse("fail:task=6").to_dict())[0]
         keys = {cache_key(c, ctx) for c in (plain, f1, f2)}
         assert len(keys) == 3
+
+
+# ---------------------------------------------------------------------------
+# task-graph workloads under injection (ISSUE 8)
+# ---------------------------------------------------------------------------
+class TestTaskGraphFaults:
+    """The Task Bench dependency-grid workload obeys the same
+    fault-accounting contract as the hand-written kernels."""
+
+    def _taskbench(self, ctx, version):
+        from repro.workloads.taskgraph import program
+
+        return program(
+            version, machine=ctx.machine, pattern="stencil",
+            width=4, steps=3, grain=1e-6,
+        )
+
+    @pytest.mark.parametrize("version", ["omp_task", "cilk_spawn"])
+    def test_useful_plus_wasted_equals_busy(self, version):
+        ctx = ExecContext()
+        res = run_program(
+            self._taskbench(ctx, version), 4, ctx, version,
+            faults="fail:task=5", policy={"on_failure": "continue"},
+        )
+        region = res.regions[-1]
+        doc = region.meta["fault"]
+        assert doc["failed"] and doc["wasted"] > 0.0
+        # every busy second is accounted exactly once: useful + wasted
+        # must equal the region's total busy time
+        assert doc["useful"] + doc["wasted"] == pytest.approx(region.total_busy)
+        check_result(res, ctx=ctx).raise_if_failed()
+
+    def test_injected_graph_run_is_deterministic(self):
+        ctx = ExecContext()
+        kwargs = dict(
+            faults="fail:task=5,attempts=1",
+            policy={"max_retries": 1, "backoff": 1e-6},
+        )
+        prog = self._taskbench(ctx, "omp_task")
+        r1 = run_program(prog, 4, ctx, "omp_task", **kwargs)
+        r2 = run_program(self._taskbench(ctx, "omp_task"), 4, ctx, "omp_task", **kwargs)
+        assert r1.time == r2.time
+        assert len(r1.regions) == 2  # failed attempt + clean retry
+        s = fault_summary(r1)
+        assert s["failed_regions"] == 1 and s["retries"] == 1

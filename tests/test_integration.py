@@ -20,6 +20,7 @@ SMALL = {
     "lud": {"n": 512, "block": 32},
     "lavamd": {"boxes1d": 4},
     "srad": {"grid": 512, "iters": 2},
+    "taskbench": {"pattern": "stencil", "width": 8, "steps": 4, "grain": 2e-6},
 }
 
 
@@ -31,7 +32,7 @@ def all_cells():
 
 @pytest.mark.parametrize("workload,version", list(all_cells()))
 def test_every_workload_version_runs(workload, version):
-    """All 56 (workload, version) combinations build and execute."""
+    """All 60 (workload, version) combinations build and execute."""
     spec = get_workload(workload)
     prog = spec.build(version, CTX.machine, **SMALL[workload])
     for p in (1, 8):

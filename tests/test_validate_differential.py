@@ -81,3 +81,23 @@ class TestCliExitCodes:
         assert main(["compare", "openmp", "rust-rayon"]) == 2
         err = capsys.readouterr().err
         assert "rust-rayon" in err
+
+
+class TestSynthesizedWorkloadsInMatrix:
+    """Synthesized apps ride the same differential oracle as the
+    registry's hand-written workloads (ISSUE 8: scenario diversity)."""
+
+    def test_registry_audit_covers_synthesized_apps(self):
+        from repro.workloads.synth import generate, registered
+
+        baseline = run_registry_audit(CTX, threads=(1, 2)).checks
+        with registered(generate(0, 3)):
+            rep = run_registry_audit(CTX, threads=(1, 2))
+        assert rep.ok, rep.describe()
+        # three extra apps x six versions x two thread counts => the
+        # audit demonstrably widened
+        assert rep.checks > baseline
+
+    def test_synth_audit_feeds_run_validation(self):
+        rep = run_validation(programs=0)
+        assert rep.ok, rep.describe()

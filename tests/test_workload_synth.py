@@ -1,0 +1,165 @@
+"""Generator battery for the seeded workload synthesizer.
+
+The synthesizer's contract (see :mod:`repro.workloads.synth`) is that a
+synthesized app is a **pure function of (seed, config)**:
+
+- same seed: bit-identical spec document, name, built program and
+  simulation result (compared on the codec form the sweep cache
+  stores);
+- distinct seeds: distinct names, hence distinct sweep cache keys;
+- every synthesized app is a well-formed registry citizen — it builds
+  for all six versions and passes the invariant checker
+  (``run_program(validate=True)``) on each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import WORKLOADS, get_workload
+from repro.models import VERSIONS
+from repro.runtime.base import ExecContext
+from repro.runtime.run import run_program
+from repro.sweep import SweepCell, cache_key, run_sweep
+from repro.sweep.codec import result_to_dict
+from repro.validate import run_synth_audit
+from repro.workloads.synth import (
+    DEFAULT_CONFIG,
+    KERNEL_POOL,
+    SynthConfig,
+    generate,
+    registered,
+    synthesize,
+)
+
+
+# ---------------------------------------------------------------------------
+# determinism: same seed => bit-identical everything
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 42, 2**40 + 7])
+def test_same_seed_same_spec(seed):
+    a, b = synthesize(seed), synthesize(seed)
+    assert a.document() == b.document()
+    assert a.digest() == b.digest()
+    assert a == b  # frozen dataclass equality over every field
+
+
+def test_same_seed_same_simulation(ctx):
+    spec = synthesize(3)
+    for version in ("omp_for", "cilk_spawn"):
+        r1 = run_program(spec.build(version, ctx.machine), 4, ctx, version)
+        r2 = run_program(spec.build(version, ctx.machine), 4, ctx, version)
+        assert result_to_dict(r1) == result_to_dict(r2)
+
+
+def test_generate_is_pure_and_collision_free():
+    batch1 = generate(42, 8)
+    batch2 = generate(42, 8)
+    assert [s.document() for s in batch1] == [s.document() for s in batch2]
+    assert len({s.name for s in batch1}) == len(batch1)
+    # a different master seed draws a different batch
+    assert [s.name for s in generate(43, 8)] != [s.name for s in batch1]
+
+
+def test_distinct_seeds_distinct_cache_keys():
+    ctx = ExecContext()
+    specs = generate(0, 4)
+    with registered(specs):
+        keys = {
+            cache_key(SweepCell(s.name, "omp_for", 4, {}), ctx) for s in specs
+        }
+    assert len(keys) == len(specs)
+
+
+def test_config_changes_the_name():
+    tight = SynthConfig(parallel_fraction=(0.5, 0.6))
+    assert synthesize(7).name != synthesize(7, tight).name
+    assert synthesize(7).name.startswith("synth-")
+
+
+# ---------------------------------------------------------------------------
+# recipes draw from the configured distributions
+# ---------------------------------------------------------------------------
+def test_recipe_respects_config_bounds():
+    cfg = DEFAULT_CONFIG
+    for spec in generate(1, 12):
+        assert cfg.min_phases <= len(spec.recipe) <= cfg.max_phases
+        lo, hi = cfg.parallel_fraction
+        assert lo <= spec.fraction <= hi
+        for phase in spec.recipe:
+            assert phase["kernel"] in KERNEL_POOL
+            assert phase["n"] >= 16
+            assert phase["schedule"] in cfg.schedules
+            assert phase["chunks_per_thread"] in cfg.chunks_per_thread
+            assert phase["grainsize"] in cfg.grainsizes
+
+
+def test_coverage_selects_kernel_subsets():
+    # over many seeds the Bernoulli occurrence draw must produce both
+    # full-pool and strict-subset apps (otherwise coverage is inert)
+    used = [
+        {p["kernel"] for p in synthesize(seed).recipe} for seed in range(40)
+    ]
+    assert any(len(u) < len(KERNEL_POOL) for u in used)
+    assert len(set().union(*used)) == len(KERNEL_POOL)
+
+
+# ---------------------------------------------------------------------------
+# every synthesized app is a well-formed workload
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("version", VERSIONS)
+def test_synth_apps_pass_invariants_everywhere(version, ctx):
+    for spec in generate(5, 2):
+        res = run_program(
+            spec.build(version, ctx.machine), 4, ctx, version, validate=True
+        )
+        assert res.time > 0
+
+
+def test_build_rejects_overrides_and_unknown_versions(ctx):
+    spec = synthesize(0)
+    with pytest.raises(ValueError):
+        spec.build("omp_for", ctx.machine, n=5)
+    with pytest.raises(ValueError):
+        spec.build("pthreads", ctx.machine)
+
+
+def test_serial_share_tracks_parallel_fraction(ctx):
+    # T_1 of the built program splits into serial + loop work in the
+    # (1-f) : f ratio the generator drew
+    spec = synthesize(11)
+    prog = spec.build("omp_for", ctx.machine)
+    serial = sum(r.work for r in prog.regions if hasattr(r, "work"))
+    loop = sum(r.space.total_work for r in prog.regions if hasattr(r, "space"))
+    assert serial / (serial + loop) == pytest.approx(1.0 - spec.fraction)
+
+
+# ---------------------------------------------------------------------------
+# registry + sweep integration
+# ---------------------------------------------------------------------------
+def test_registered_restores_the_registry():
+    specs = generate(9, 3)
+    before = set(WORKLOADS)
+    with registered(specs):
+        for s in specs:
+            assert get_workload(s.name) is s
+    assert set(WORKLOADS) == before
+
+
+def test_synth_sweep_caches_and_replays(tmp_path):
+    (spec,) = generate(2, 1)
+    with registered([spec]):
+        kwargs = dict(versions=["omp_for"], threads=(1, 4), cache=tmp_path)
+        first = run_sweep(spec.name, **kwargs)
+        assert first.counter("simulations") == 2
+        replay = run_sweep(spec.name, **kwargs)
+    assert replay.counter("simulations") == 0
+    assert replay.counter("cache_hits") == 2
+    for key in first.results:
+        assert first.results[key].time == replay.results[key].time
+
+
+def test_synth_audit_is_clean():
+    report = run_synth_audit(seed=0, count=2, threads=(1, 4))
+    assert report.ok, report.describe()
+    assert report.checks > 0
