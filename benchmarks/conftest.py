@@ -20,6 +20,14 @@ determinism contract), but note that the per-result validation audit
 below only interposes on the in-process serial path, so leave the
 default of 1 when you want every cell audited.
 
+Set ``REPRO_SWEEP_SERVER=http://host:port`` to resolve every sweep on
+a running ``repro serve`` instance instead: cells answer from the
+service's shared store (or are simulated there once, deduplicated
+across concurrent clients), and results stay bit-identical to local
+runs.  The session fails fast if the variable names a service that is
+not answering its health probe.  Like the ``jobs > 1`` fan-out, served
+cells bypass the in-process validation audit.
+
 ``benchmarks/out/`` is generated output (gitignored since the sweep
 cache moved in under it); fixtures create it on demand.
 
@@ -61,6 +69,26 @@ THREADS = PAPER_THREADS
 @pytest.fixture(scope="session")
 def ctx() -> ExecContext:
     return ExecContext()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sweep_server_gate():
+    """Fail the whole session up front when ``REPRO_SWEEP_SERVER`` names
+    a service that is not answering — one clear message beats every
+    figure timing out against a dead endpoint."""
+    url = os.environ.get("REPRO_SWEEP_SERVER")
+    if not url:
+        return
+    from repro.serve.client import SweepClient
+
+    client = SweepClient(url)
+    if not client.health():
+        pytest.exit(
+            f"REPRO_SWEEP_SERVER={url} is set but the sweep service is not "
+            "answering its health probe; start it with `repro serve` or "
+            "unset the variable to run sweeps locally",
+            returncode=3,
+        )
 
 
 @pytest.fixture(autouse=True)

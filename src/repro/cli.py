@@ -19,7 +19,14 @@ Commands mirror the paper's artifacts:
 - ``sweep``        — run one workload's full sweep through the parallel
   executor with content-addressed result caching (``--jobs N``
   fans cells out across processes; a second invocation replays
-  cached cells without simulating);
+  cached cells without simulating; ``--server URL`` or
+  ``REPRO_SWEEP_SERVER`` routes the sweep through a running sweep
+  service instead of executing locally);
+- ``serve``        — long-running sweep service (:mod:`repro.serve`):
+  an asyncio HTTP front end over the sharded result store that
+  accepts experiment-matrix queries, single-flight-dedupes identical
+  in-flight cells across concurrent requests, fans misses onto a
+  process pool, and streams per-cell results back as NDJSON;
 - ``synth``        — seeded workload synthesizer: generate N apps from
   the kernel pool (stable names hash the seed + config), print their
   canonical spec digests and sweep cache keys (stdout is deterministic:
@@ -122,6 +129,27 @@ def build_parser() -> argparse.ArgumentParser:
                           "vectorized fast paths, 0 closed-form analytic "
                           "estimates with calibrated error bounds, auto = "
                           "cheapest tier the sweep's options allow")
+    swp.add_argument("--server", default=None, metavar="URL",
+                     help="route the sweep through a running sweep service "
+                          "(repro serve) instead of executing locally; "
+                          "defaults to $REPRO_SWEEP_SERVER when set")
+
+    srv = sub.add_parser(
+        "serve", help="long-running sweep service over the sharded result store"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8765,
+                     help="TCP port (0 picks a free one, printed on stderr)")
+    srv.add_argument("--jobs", "-j", type=int, default=2,
+                     help="worker processes for cache-miss simulation")
+    srv.add_argument("--cache-dir", default=None,
+                     help="result store directory (default benchmarks/out/cache)")
+    srv.add_argument("--cache-max-entries", type=int, default=None,
+                     help="evict least-recently-used entries beyond this bound")
+    srv.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                     help="expire entries unused for longer than this window")
+    srv.add_argument("--quiet", "-q", action="store_true",
+                     help="suppress startup/shutdown lines on stderr")
 
     syn = sub.add_parser(
         "synth", help="seeded workload synthesizer: generate, sweep, validate"
@@ -378,8 +406,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     spec = get_workload(args.workload)
     params = dict(spec.paper_params if args.full else spec.default_params)
+    import os as _os
+
+    server = args.server or _os.environ.get("REPRO_SWEEP_SERVER") or None
     cache = None
-    if not args.no_cache:
+    if not args.no_cache and not server:
+        # in server mode the service owns the store; no local cache
         cache = ResultCache(
             args.cache_dir or DEFAULT_CACHE_DIR, max_entries=args.cache_max_entries
         )
@@ -406,6 +438,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             cache=cache,
             refresh=args.refresh,
             fidelity=fidelity,
+            server=server,
             progress=progress,
         )
     wall = sweep.host_wall_seconds if sweep.perf else sw.wall
@@ -419,7 +452,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"cache hits={hits} misses={misses} "
         f"evictions={sweep.counter('cache_evictions')})"
     )
-    if cache is not None:
+    if server:
+        print(f"server: {server} (dedup joins={sweep.counter('dedup_hits')})")
+    elif cache is not None:
         print(f"cache: {cache.root}")
     if args.metrics_out:
         out = write_sweep_metrics(
@@ -435,7 +470,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "jobs": int(args.jobs),
             "fidelity": str(fidelity),
             "cells": len(sweep.versions) * len(sweep.threads),
-            "cache": "off" if cache is None else ("refresh" if args.refresh else "on"),
+            "cache": ("server" if server else
+                      "off" if cache is None else
+                      ("refresh" if args.refresh else "on")),
+            "server": server or "",
             "cache_hits": hits,
             "cache_misses": misses,
             "simulations": sweep.counter("simulations"),
@@ -461,6 +499,20 @@ def _ledger_append(kind: str, name: str, snapshot, *, extra=None) -> None:
         update_trajectory(record, ledger.root)
     except OSError as exc:  # pragma: no cover - depends on host FS state
         print(f"warning: could not append to run ledger: {exc}", file=sys.stderr)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import main as serve_main
+
+    return serve_main(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        max_entries=args.cache_max_entries,
+        ttl_seconds=args.ttl,
+        quiet=args.quiet,
+    )
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -950,6 +1002,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "synth":
         return _cmd_synth(args)
     if args.command == "faults":

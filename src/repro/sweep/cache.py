@@ -24,18 +24,43 @@ re-simulating it, and any change to any input (a cost constant, a
 machine parameter, a package upgrade) silently invalidates exactly the
 affected cells and nothing else.
 
+Layout: entries are **sharded** by key prefix — entry ``<key>`` lives
+at ``root/<key[:2]>/<key>.json`` — so a store holding millions of
+cells (the sweep service's regime, :mod:`repro.serve`) never puts more
+than ~1/256th of them in one directory, keeping every directory scan
+and entry create O(small).  Stores written before sharding existed
+kept every entry flat at ``root/<key>.json``; those entries stay fully
+readable and are *adopted* (renamed into their shard) the first time
+they are read, so a flat store migrates transparently under read
+traffic without a migration step.  An append-only NDJSON index
+(``root/index.ndjson``) records every publication and eviction; it is
+advisory — the directory scan stays the source of truth — but lets an
+operator reconstruct store history without stat-ing a million files.
+
+Eviction is **true LRU**: :meth:`ResultCache.get` refreshes an entry's
+mtime on every hit (best-effort ``os.utime``), so "least recently
+modified" genuinely means "least recently used" and a hot entry
+survives any number of prunes.  An optional ``ttl_seconds`` expires
+entries that have not been used within the window regardless of the
+entry bound.
+
 Concurrency: entries are written atomically (write to a unique
-temporary file in the cache directory, then ``os.replace``), so any
-number of executors — threads or processes — may share one cache
-directory; readers only ever observe absent or complete entries, and
-concurrent writers of the same key converge on identical content.
+temporary file in the entry's shard directory, then ``os.replace``),
+so any number of executors — threads or processes — may share one
+cache directory; readers only ever observe absent or complete entries,
+and concurrent writers of the same key converge on identical content.
 Unreadable or truncated entries are treated as misses and overwritten.
+A *crashed* writer can leave its ``.<key>.*.tmp`` staging file behind;
+:meth:`prune` and :meth:`clear` garbage-collect staging files older
+than ``tmp_grace_seconds`` (young ones may belong to a live in-flight
+writer and are left alone).
 
 Host telemetry: when a :mod:`repro.perf` recording is active, every
 probe and store reports its latency (``cache.probe_seconds`` /
 ``cache.store_seconds`` observations) and outcome (``cache.hit`` /
-``cache.miss`` / ``cache.store`` / ``cache.evict`` counters); with no
-recorder active the instrumentation is a single predicate per call.
+``cache.miss`` / ``cache.store`` / ``cache.evict`` / ``cache.adopt`` /
+``cache.tmp_gc`` counters); with no recorder active the
+instrumentation is a single predicate per call.
 """
 
 from __future__ import annotations
@@ -46,9 +71,10 @@ import json
 import os
 import pathlib
 import threading
+import time
 from dataclasses import asdict
 from time import perf_counter
-from typing import TYPE_CHECKING, Any, Optional, Union
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Union
 
 from repro.perf.spans import current as _perf_current
 from repro.runtime.base import ExecContext
@@ -56,13 +82,31 @@ from repro.runtime.base import ExecContext
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sweep.cells import SweepCell
 
-__all__ = ["DEFAULT_CACHE_DIR", "KEY_FORMAT", "ResultCache", "cache_key"]
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "INDEX_NAME",
+    "KEY_FORMAT",
+    "ResultCache",
+    "SHARD_WIDTH",
+    "TMP_GRACE_SECONDS",
+    "cache_key",
+]
 
 #: Where `repro sweep` and the benchmark harness keep their entries.
 DEFAULT_CACHE_DIR = pathlib.Path("benchmarks") / "out" / "cache"
 
 #: Bump to invalidate every existing entry (cache payload layout change).
 KEY_FORMAT = 1
+
+#: Hex chars of the key that name an entry's shard directory.
+SHARD_WIDTH = 2
+
+#: Append-only store journal (one JSON line per publication/eviction).
+INDEX_NAME = "index.ndjson"
+
+#: Staging files older than this are presumed orphaned by a crashed
+#: writer and are garbage-collected by prune()/clear().
+TMP_GRACE_SECONDS = 3600.0
 
 _tmp_counter = itertools.count()
 
@@ -115,51 +159,161 @@ def cache_key(cell: "SweepCell", ctx: ExecContext, *, trace: bool = False) -> st
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def _is_shard_name(name: str) -> bool:
+    if len(name) != SHARD_WIDTH:
+        return False
+    try:
+        int(name, 16)
+    except ValueError:
+        return False
+    return True
+
+
 class ResultCache:
-    """A directory of content-addressed cell payloads (one JSON file each).
+    """A sharded directory of content-addressed cell payloads.
 
     ``max_entries`` bounds the cache size; :meth:`prune` (called by the
-    executor after every sweep when a bound is set) evicts the
-    least-recently-modified entries beyond the bound and reports how
-    many it removed.
+    executor after every sweep when a bound is set, and by the sweep
+    server periodically) evicts the least-recently-*used* entries
+    beyond the bound — :meth:`get` refreshes an entry's mtime on every
+    hit, so recency of use, not of insertion, decides survival.
+    ``ttl_seconds`` additionally expires entries unused for longer than
+    the window.  ``tmp_grace_seconds`` controls when an orphaned
+    staging file from a crashed writer becomes garbage.
     """
 
     def __init__(
         self,
         root: Union[str, os.PathLike] = DEFAULT_CACHE_DIR,
         max_entries: Optional[int] = None,
+        *,
+        ttl_seconds: Optional[float] = None,
+        tmp_grace_seconds: float = TMP_GRACE_SECONDS,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be > 0")
         self.root = pathlib.Path(root)
         self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self.tmp_grace_seconds = float(tmp_grace_seconds)
 
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
     def path_for(self, key: str) -> pathlib.Path:
+        """Canonical (sharded) location of ``key``'s entry file."""
+        return self.root / key[:SHARD_WIDTH] / f"{key}.json"
+
+    def flat_path_for(self, key: str) -> pathlib.Path:
+        """Pre-sharding location — readable, adopted into shards on use."""
         return self.root / f"{key}.json"
+
+    def _locate(self, key: str) -> pathlib.Path:
+        """The file a probe for ``key`` should read (sharded wins)."""
+        sharded = self.path_for(key)
+        if sharded.exists():
+            return sharded
+        flat = self.flat_path_for(key)
+        if flat.exists():
+            return flat
+        return sharded
+
+    @property
+    def index_path(self) -> pathlib.Path:
+        return self.root / INDEX_NAME
+
+    def _index_append(self, op: str, key: str) -> None:
+        """Best-effort append to the store journal (one atomic write).
+
+        ``O_APPEND`` keeps concurrent writers' lines intact; an
+        unwritable index never fails the entry operation it records.
+        """
+        line = json.dumps({"op": op, "key": key}, separators=(",", ":")) + "\n"
+        try:
+            fd = os.open(
+                self.index_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+            try:
+                os.write(fd, line.encode("utf-8"))
+            finally:
+                os.close(fd)
+        except OSError:
+            pass
+
+    def index_events(self) -> Iterator[dict[str, Any]]:
+        """Replay the append-only journal (corrupt lines are skipped)."""
+        try:
+            with open(self.index_path, encoding="utf-8") as fh:
+                for line in fh:
+                    try:
+                        doc = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(doc, dict):
+                        yield doc
+        except OSError:
+            return
 
     # ------------------------------------------------------------------
     # entry IO
     # ------------------------------------------------------------------
+    @staticmethod
+    def _read(path: pathlib.Path) -> Optional[dict[str, Any]]:
+        """Decode one entry file; missing/truncated/corrupt → ``None``."""
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _adopt(self, key: str, flat: pathlib.Path) -> pathlib.Path:
+        """Move a pre-sharding flat entry into its shard (best-effort).
+
+        ``os.replace`` keeps the move atomic; losing the race to a
+        concurrent adopter (or a read-only store) simply leaves the
+        flat file for the next reader.
+        """
+        sharded = self.path_for(key)
+        try:
+            sharded.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(flat, sharded)
+        except OSError:
+            return flat
+        rec = _perf_current()
+        if rec is not None:
+            rec.count("cache.adopt")
+        return sharded
+
     def get(self, key: str) -> Optional[dict[str, Any]]:
         """Return the payload stored under ``key``, or ``None``.
 
         Missing, truncated, or otherwise unreadable entries are all
         misses: a crashed writer can at worst leave a stale ``*.tmp``
-        file behind, never a half-visible entry.
+        file behind, never a half-visible entry.  A hit refreshes the
+        entry's mtime (best-effort ``os.utime``), which is what makes
+        :meth:`prune`'s least-recently-modified ordering true LRU
+        rather than insertion-order FIFO; a flat pre-sharding entry is
+        adopted into its shard on the way.
         """
         rec = _perf_current()
-        if rec is None:
+        t0 = perf_counter() if rec is not None else 0.0
+        path = self.path_for(key)
+        payload = self._read(path)
+        if payload is None:
+            flat = self.flat_path_for(key)
+            payload = self._read(flat)
+            if payload is not None:
+                path = self._adopt(key, flat)
+        if payload is not None:
             try:
-                return json.loads(self.path_for(key).read_text())
-            except (OSError, ValueError):
-                return None
-        t0 = perf_counter()
-        try:
-            payload = json.loads(self.path_for(key).read_text())
-        except (OSError, ValueError):
-            payload = None
-        rec.observe("cache.probe_seconds", perf_counter() - t0)
-        rec.count("cache.hit" if payload is not None else "cache.miss")
+                os.utime(path)  # touch-on-hit: LRU recency, not FIFO age
+            except OSError:
+                pass
+        if rec is not None:
+            rec.observe("cache.probe_seconds", perf_counter() - t0)
+            rec.count("cache.hit" if payload is not None else "cache.miss")
         return payload
 
     def put(self, key: str, payload: dict[str, Any]) -> pathlib.Path:
@@ -167,12 +321,14 @@ class ResultCache:
 
         The temporary name is unique per (process, thread, call), so
         concurrent writers never collide on the staging file, and
-        ``os.replace`` makes publication atomic on POSIX and Windows.
+        ``os.replace`` makes publication atomic on POSIX and Windows
+        (same-directory rename: the staging file lives in the entry's
+        shard).
         """
         rec = _perf_current()
         t0 = perf_counter() if rec is not None else 0.0
-        self.root.mkdir(parents=True, exist_ok=True)
         final = self.path_for(key)
+        final.parent.mkdir(parents=True, exist_ok=True)
         tmp = final.with_name(
             f".{key}.{os.getpid()}.{threading.get_ident()}.{next(_tmp_counter)}.tmp"
         )
@@ -185,6 +341,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._index_append("put", key)
         if rec is not None:
             rec.observe("cache.store_seconds", perf_counter() - t0)
             rec.count("cache.store")
@@ -193,48 +350,145 @@ class ResultCache:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
+    def _entry_paths(self) -> Iterator[tuple[str, pathlib.Path]]:
+        """Yield ``(key, path)`` for every entry, sharded and flat.
+
+        A key present in both layouts (a racing adopter) yields its
+        sharded path only.
+        """
+        try:
+            children = list(self.root.iterdir())
+        except OSError:
+            return
+        seen: set[str] = set()
+        for child in children:
+            if child.name.startswith("."):
+                continue
+            if child.is_dir() and _is_shard_name(child.name):
+                try:
+                    grand = list(child.iterdir())
+                except OSError:
+                    continue
+                for p in grand:
+                    if p.suffix == ".json" and not p.name.startswith("."):
+                        seen.add(p.stem)
+                        yield p.stem, p
+        for child in children:
+            if (
+                child.suffix == ".json"
+                and not child.name.startswith(".")
+                and not child.is_dir()
+                and child.stem not in seen
+            ):
+                yield child.stem, child
+
     def keys(self) -> list[str]:
         """Keys of all complete entries currently on disk."""
-        try:
-            names = list(self.root.iterdir())
-        except OSError:
-            return []
-        return sorted(
-            p.stem for p in names if p.suffix == ".json" and not p.name.startswith(".")
-        )
+        return sorted(key for key, _path in self._entry_paths())
 
     def __contains__(self, key: str) -> bool:
-        return self.path_for(key).exists()
+        """True iff ``key``'s entry exists *and* decodes.
+
+        Aligned with :meth:`get`'s miss semantics: a truncated or
+        corrupt entry that ``get`` would treat as a miss also reports
+        absent here, so ``key in cache`` never promises a payload that
+        ``get`` then refuses to return.  Unlike ``get``, a containment
+        probe records no telemetry and does not refresh recency — it is
+        a question, not a use.
+        """
+        return self._read(self._locate(key)) is not None
 
     def __len__(self) -> int:
         return len(self.keys())
 
-    def prune(self, max_entries: Optional[int] = None) -> int:
-        """Evict least-recently-modified entries beyond the bound.
+    def _tmp_paths(self) -> Iterator[pathlib.Path]:
+        """Every staging file in the store (root and shard directories)."""
+        try:
+            children = list(self.root.iterdir())
+        except OSError:
+            return
+        for child in children:
+            if child.name.startswith(".") and child.name.endswith(".tmp"):
+                yield child
+            elif child.is_dir() and _is_shard_name(child.name):
+                try:
+                    grand = list(child.iterdir())
+                except OSError:
+                    continue
+                for p in grand:
+                    if p.name.startswith(".") and p.name.endswith(".tmp"):
+                        yield p
 
-        Returns the number of entries removed (0 when unbounded or
-        already within bounds).  Entries that vanish mid-prune (another
-        executor pruning the same directory) are counted by whoever
-        actually unlinked them.
+    def gc_stale_tmp(self, grace_seconds: Optional[float] = None) -> int:
+        """Unlink staging files older than the grace age; returns count.
+
+        A crashed writer's ``.<key>.*.tmp`` never becomes an entry and
+        — being dot-prefixed — is invisible to :meth:`keys`, so without
+        this pass it would leak forever.  Files younger than the grace
+        age are left alone: they may belong to a writer that is still
+        alive between ``write_text`` and ``os.replace``.
         """
+        grace = self.tmp_grace_seconds if grace_seconds is None else grace_seconds
+        cutoff = time.time() - grace
+        removed = 0
+        for path in self._tmp_paths():
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        if removed:
+            rec = _perf_current()
+            if rec is not None:
+                rec.count("cache.tmp_gc", removed)
+        return removed
+
+    def prune(
+        self,
+        max_entries: Optional[int] = None,
+        *,
+        ttl_seconds: Optional[float] = None,
+    ) -> int:
+        """Evict least-recently-used entries beyond the bound or TTL.
+
+        Returns the number of *entries* removed (0 when unbounded, no
+        TTL, or already within bounds); stale staging files are
+        garbage-collected on every call but not counted.  Because
+        :meth:`get` touches entries on hit, mtime ordering here is true
+        LRU: the entries evicted first are the ones nothing has asked
+        for longest, across all shards.  Entries that vanish mid-prune
+        (another executor pruning the same directory) are counted by
+        whoever actually unlinked them.
+        """
+        self.gc_stale_tmp()
         bound = max_entries if max_entries is not None else self.max_entries
-        if bound is None:
+        ttl = ttl_seconds if ttl_seconds is not None else self.ttl_seconds
+        if bound is None and ttl is None:
             return 0
         entries = []
-        for key in self.keys():
-            path = self.path_for(key)
+        for key, path in self._entry_paths():
             try:
-                entries.append((path.stat().st_mtime_ns, str(path)))
+                entries.append((path.stat().st_mtime_ns, str(path), key))
             except OSError:
                 continue
-        entries.sort(reverse=True)  # newest first
+        entries.sort(reverse=True)  # most recently used first
+        victims: list[tuple[int, str, str]] = []
+        if ttl is not None:
+            cutoff_ns = int((time.time() - ttl) * 1e9)
+            keep = [e for e in entries if e[0] > cutoff_ns]
+            victims.extend(e for e in entries if e[0] <= cutoff_ns)
+            entries = keep
+        if bound is not None:
+            victims.extend(entries[bound:])
         evicted = 0
-        for _mtime, path in entries[bound:]:
+        for _mtime, path, key in victims:
             try:
                 os.unlink(path)
-                evicted += 1
             except OSError:
                 continue
+            self._index_append("evict", key)
+            evicted += 1
         if evicted:
             rec = _perf_current()
             if rec is not None:
@@ -242,12 +496,22 @@ class ResultCache:
         return evicted
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were removed."""
+        """Remove every entry; returns how many were removed.
+
+        Stale staging files are garbage-collected too (in-flight ones
+        within the grace age are spared — their writer is about to
+        publish into the now-empty store), and the journal is reset.
+        """
         removed = 0
-        for key in self.keys():
+        for _key, path in self._entry_paths():
             try:
-                os.unlink(self.path_for(key))
+                os.unlink(path)
                 removed += 1
             except OSError:
                 continue
+        self.gc_stale_tmp()
+        try:
+            self.index_path.unlink()
+        except OSError:
+            pass
         return removed

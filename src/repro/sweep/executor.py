@@ -293,6 +293,7 @@ def run_sweep(
     faults=None,
     policy=None,
     fidelity: Union[None, int, str] = None,
+    server: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
     progress: Optional[ProgressFn] = None,
 ) -> SweepResult:
@@ -342,6 +343,16 @@ def run_sweep(
         an estimate has no events to trace, audit or fault.  The tier
         enters the cell's content address (tier 2 keeps its pre-tiers
         address), so tiers never share cache entries.
+    server:
+        Route the whole sweep through a running sweep service
+        (:mod:`repro.serve`) at this URL instead of executing locally;
+        ``None`` falls back to the ``REPRO_SWEEP_SERVER`` environment
+        variable, and empty/unset means local execution.  The service
+        owns the store and the worker pool, so ``jobs`` and ``cache``
+        are ignored in server mode; results are byte-identical to the
+        local path (same codec, same cache-entry documents).
+        Validation and fault injection are not part of protocol v1 and
+        raise ``ValueError`` when combined with a server.
     metrics:
         Registry to account into (one is created when omitted); it is
         attached to the returned sweep as ``SweepResult.metrics``.
@@ -386,6 +397,29 @@ def run_sweep(
             "fidelity=0 is an analytic estimate with no event stream; "
             "tracing, validation and fault injection need fidelity 1 or 2 "
             "(or fidelity='auto' to pick for you)"
+        )
+    if server is None:
+        server = os.environ.get("REPRO_SWEEP_SERVER") or None
+    if server:
+        if validate or fault_doc is not None or policy_doc is not None:
+            raise ValueError(
+                "server mode (repro.serve protocol v1) does not carry "
+                "validation or fault injection; run those sweeps locally"
+            )
+        from repro.serve.client import run_sweep_remote
+
+        return run_sweep_remote(
+            workload,
+            versions,
+            threads,
+            ctx,
+            params=params,
+            fidelity=fid,
+            trace=trace,
+            refresh=refresh,
+            server=server,
+            metrics=metrics,
+            progress=progress,
         )
     ctx = ctx.with_fidelity(fid)
     reg = metrics if metrics is not None else MetricsRegistry()

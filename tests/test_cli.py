@@ -322,3 +322,55 @@ class TestSynthCommand:
         before = set(WORKLOADS)
         assert main(self.ARGS) == 0
         assert set(WORKLOADS) == before
+
+
+class TestServeCommand:
+    """`repro serve` wiring and `repro sweep --server` routing."""
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.jobs == 2
+        assert args.cache_dir is None
+        assert args.cache_max_entries is None
+        assert args.ttl is None
+
+    def test_serve_parser_full(self, tmp_path):
+        args = build_parser().parse_args([
+            "serve", "--host", "0.0.0.0", "--port", "9000", "-j", "4",
+            "--cache-dir", str(tmp_path), "--cache-max-entries", "100",
+            "--ttl", "3600", "--quiet",
+        ])
+        assert args.port == 9000 and args.jobs == 4
+        assert args.cache_max_entries == 100 and args.ttl == 3600.0
+        assert args.quiet
+
+    def test_sweep_server_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["sweep", "axpy", "--server", "http://127.0.0.1:1234"]
+        )
+        assert args.server == "http://127.0.0.1:1234"
+        assert build_parser().parse_args(["sweep", "axpy"]).server is None
+
+    def test_sweep_through_live_server(self, capsys, tmp_path, monkeypatch):
+        """End-to-end `repro sweep --server URL`: the cells resolve on
+        the service (tier-0 estimates — microseconds), the summary names
+        the server instead of a local cache, and no local store is
+        touched."""
+        monkeypatch.delenv("REPRO_SWEEP_SERVER", raising=False)
+        from tests.test_serve import running_server
+
+        with running_server(tmp_path / "store") as srv:
+            code = main([
+                "sweep", "axpy", "--threads", "1", "4", "--quiet",
+                "--fidelity", "0", "--server", srv.url,
+            ])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert f"server: {srv.url}" in out
+            assert "simulated=0" in out
+            assert srv.perf.counters["serve.request"] == 1
+            assert srv.perf.counters["serve.estimates"] > 0
+        # the server's store holds the entries; no default-dir cache line
+        assert "cache:" not in out

@@ -220,6 +220,319 @@ class TestResultCacheStore:
         assert json.loads(blob) == doc
 
 
+class TestShardedLayout:
+    """Entries live at ``root/<key[:2]>/<key>.json``; flat pre-sharding
+    stores stay readable and migrate shard-ward under read traffic."""
+
+    def test_put_writes_into_shard(self, tmp_path):
+        from repro.sweep.cache import SHARD_WIDTH
+
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, {"format": 1})
+        assert cache.path_for(key) == tmp_path / key[:SHARD_WIDTH] / f"{key}.json"
+        assert cache.path_for(key).exists()
+        assert not cache.flat_path_for(key).exists()
+
+    def test_flat_entry_is_read_and_adopted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        payload = {"format": 1, "legacy": True}
+        cache.flat_path_for(key).write_text(json.dumps(payload))
+        assert cache.get(key) == payload
+        # the read migrated the entry into its shard
+        assert cache.path_for(key).exists()
+        assert not cache.flat_path_for(key).exists()
+        assert cache.get(key) == payload
+
+    def test_contains_sees_flat_without_migrating(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.flat_path_for(key).write_text(json.dumps({"format": 1}))
+        assert key in cache
+        # a containment probe is a question, not a use: no adoption
+        assert cache.flat_path_for(key).exists()
+        assert not cache.path_for(key).exists()
+
+    def test_keys_merge_both_layouts_sharded_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("11" * 32, {"format": 1})
+        cache.flat_path_for("22" * 32).write_text(json.dumps({"format": 1}))
+        # same key in both layouts (a racing adopter): counted once
+        cache.put("33" * 32, {"format": 1, "which": "sharded"})
+        cache.flat_path_for("33" * 32).write_text(
+            json.dumps({"format": 1, "which": "flat"})
+        )
+        assert cache.keys() == sorted(["11" * 32, "22" * 32, "33" * 32])
+        assert len(cache) == 3
+        assert cache.get("33" * 32)["which"] == "sharded"
+
+    def test_prune_spans_both_layouts(self, tmp_path):
+        """The LRU bound is store-wide: flat and sharded entries compete
+        in one recency order, not per-directory."""
+        cache = ResultCache(tmp_path)
+        old, new = "44" * 32, "55" * 32
+        cache.flat_path_for(old).write_text(json.dumps({"format": 1}))
+        os.utime(cache.flat_path_for(old), ns=(10**9, 10**9))
+        cache.put(new, {"format": 1})
+        assert cache.prune(max_entries=1) == 1
+        assert old not in cache
+        assert new in cache
+
+
+class TestTrueLRU:
+    """Eviction order must follow *use*, not insertion: ``get()``
+    refreshes the entry's mtime, so a hot entry outlives cold ones."""
+
+    def _plant(self, cache, n):
+        """n entries with ancient, strictly increasing mtimes."""
+        keys = [f"{i:02d}" * 32 for i in range(n)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"format": 1, "i": i})
+            os.utime(cache.path_for(key), ns=((i + 1) * 10**9, (i + 1) * 10**9))
+        return keys
+
+    def test_get_refreshes_recency_so_hot_entry_survives_prune(self, tmp_path):
+        """Regression: before touch-on-hit, prune's least-recently-
+        *modified* order was really insertion-order FIFO, so the store's
+        most popular entry was evicted first once it was the oldest
+        write.  Reading an entry must move it to the fresh end."""
+        cache = ResultCache(tmp_path, max_entries=2)
+        oldest, middle, newest = self._plant(cache, 3)
+        assert cache.get(oldest) is not None  # use the coldest-by-mtime entry
+        assert cache.prune() == 1
+        # the *untouched* oldest entry is the victim, not the used one
+        assert oldest in cache
+        assert middle not in cache
+        assert newest in cache
+
+    def test_contains_does_not_refresh_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        oldest, middle, newest = self._plant(cache, 3)
+        assert oldest in cache  # a question, not a use
+        assert cache.prune() == 1
+        assert oldest not in cache
+        assert middle in cache and newest in cache
+
+    def test_ttl_expires_only_unused_entries(self, tmp_path):
+        cache = ResultCache(tmp_path, ttl_seconds=3600)
+        stale, fresh = self._plant(cache, 2)
+        assert cache.get(fresh) is not None  # touch: now inside the window
+        assert cache.prune() == 1
+        assert stale not in cache
+        assert fresh in cache
+
+    def test_ttl_and_bound_compose(self, tmp_path):
+        """TTL expiry happens first; the bound then applies to the
+        survivors."""
+        cache = ResultCache(tmp_path)
+        keys = self._plant(cache, 4)
+        for key in keys[2:]:
+            assert cache.get(key) is not None  # two fresh, two expired
+        assert cache.prune(max_entries=1, ttl_seconds=3600) == 3
+        assert len(cache) == 1
+        assert keys[3] in cache
+
+    def test_rejects_bad_ttl(self, tmp_path):
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            ResultCache(tmp_path, ttl_seconds=0)
+
+
+class TestStaleTmpGc:
+    """Crashed writers leak ``.<key>.*.tmp`` staging files; prune() and
+    clear() collect the stale ones and spare in-flight ones."""
+
+    def _plant_tmp(self, cache, name, age_seconds):
+        import time as _time
+
+        path = cache.root / name
+        path.write_text("half-written garbage")
+        stamp = _time.time() - age_seconds
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_prune_collects_stale_spares_fresh(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"format": 1})
+        stale = self._plant_tmp(cache, ".deadbeef.1.2.0.tmp", age_seconds=7200)
+        fresh = self._plant_tmp(cache, ".cafef00d.3.4.0.tmp", age_seconds=1)
+        assert cache.prune() == 0  # tmp GC is not entry eviction
+        assert not stale.exists()
+        assert fresh.exists()
+        assert cache.get("ab" * 32) is not None
+
+    def test_gc_reaches_shard_directories(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"format": 1})
+        shard_tmp = cache.path_for("ab" * 32).parent / ".abcd.5.6.0.tmp"
+        shard_tmp.write_text("garbage")
+        os.utime(shard_tmp, (1, 1))
+        assert cache.gc_stale_tmp() == 1
+        assert not shard_tmp.exists()
+
+    def test_clear_collects_stale_tmp(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"format": 1})
+        stale = self._plant_tmp(cache, ".feedface.7.8.0.tmp", age_seconds=7200)
+        assert cache.clear() == 1
+        assert not stale.exists()
+        assert len(cache) == 0
+
+    def test_grace_is_configurable(self, tmp_path):
+        cache = ResultCache(tmp_path, tmp_grace_seconds=5.0)
+        doomed = self._plant_tmp(cache, ".0ff1ce.9.1.0.tmp", age_seconds=60)
+        assert cache.gc_stale_tmp() == 1
+        assert not doomed.exists()
+
+
+class TestContainsAlignment:
+    """``key in cache`` must agree with ``get(key) is not None`` — a
+    corrupt entry that get() treats as a miss may not report present."""
+
+    def test_truncated_entry_not_contained(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, {"format": 1})
+        cache.path_for(key).write_text('{"truncated": ')
+        assert cache.get(key) is None
+        assert key not in cache
+
+    def test_non_object_entry_not_contained(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"format": 1})
+        cache.path_for(key).write_text("[1, 2, 3]")
+        assert cache.get(key) is None
+        assert key not in cache
+
+    def test_overwrite_repairs_corrupt_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, {"format": 1})
+        cache.path_for(key).write_text("not json")
+        assert key not in cache
+        cache.put(key, {"format": 1, "repaired": True})
+        assert key in cache
+        assert cache.get(key)["repaired"] is True
+
+
+class TestIndexJournal:
+    """The append-only store journal records publications and
+    evictions; it is advisory and corrupt lines never break replay."""
+
+    def test_put_and_evict_recorded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            key = f"{i:02d}" * 32
+            cache.put(key, {"format": 1})
+            os.utime(cache.path_for(key), ns=(i * 10**9, i * 10**9))
+        cache.prune(max_entries=1)
+        events = list(cache.index_events())
+        puts = [e["key"] for e in events if e["op"] == "put"]
+        evicts = [e["key"] for e in events if e["op"] == "evict"]
+        assert puts == [f"{i:02d}" * 32 for i in range(3)]
+        assert sorted(evicts) == sorted([f"{i:02d}" * 32 for i in range(2)])
+
+    def test_corrupt_journal_lines_skipped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"format": 1})
+        with open(cache.index_path, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+        cache.put("cd" * 32, {"format": 1})
+        events = list(cache.index_events())
+        assert [e["key"] for e in events] == ["ab" * 32, "cd" * 32]
+
+    def test_journal_never_blocks_entry_io(self, tmp_path):
+        """An unwritable index is an inconvenience, not a failure."""
+        cache = ResultCache(tmp_path)
+        cache.index_path.mkdir()  # make the journal path unopenable
+        cache.put("ab" * 32, {"format": 1})
+        assert cache.get("ab" * 32) is not None
+        assert list(cache.index_events()) == []
+
+    def test_clear_resets_journal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"format": 1})
+        cache.clear()
+        assert not cache.index_path.exists()
+
+
+class TestConcurrentPutPrune:
+    """Writers and pruners racing on one sharded store: entries may
+    vanish mid-prune, the bound holds across shards, and nobody
+    crashes or double-counts."""
+
+    def test_prune_tolerates_entries_vanishing_midway(self, tmp_path):
+        """A racing pruner (or clear()) can unlink an entry between our
+        directory scan and our unlink; the survivor counts only what it
+        actually removed."""
+        import threading
+
+        cache = ResultCache(tmp_path, max_entries=1)
+        keys = [f"{i:02x}" * 32 for i in range(24)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"format": 1, "i": i})
+            os.utime(cache.path_for(key), ns=(i * 10**9, i * 10**9))
+        counts, errors = [], []
+        barrier = threading.Barrier(4)
+
+        def racer():
+            try:
+                barrier.wait()
+                counts.append(ResultCache(tmp_path, max_entries=1).prune())
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=racer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # every eviction was counted by exactly one pruner
+        assert sum(counts) == len(keys) - 1
+        assert len(cache) == 1
+        assert keys[-1] in cache
+
+    def test_concurrent_puts_and_prunes_leave_consistent_store(self, tmp_path):
+        """Interleaved writers and pruners: every surviving entry is
+        complete and decodable, no staging files leak, and the bound is
+        enforced store-wide (across shard directories) by the final
+        prune."""
+        import threading
+
+        bound = 8
+        keys = [f"{i:02x}" * 32 for i in range(64)]  # 64 distinct shards
+        errors = []
+
+        def writer(chunk):
+            try:
+                cache = ResultCache(tmp_path, max_entries=bound)
+                for i, key in enumerate(chunk):
+                    cache.put(key, {"format": 1, "key": key})
+                    if i % 4 == 3:
+                        cache.prune()
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(keys[i::4],)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        cache = ResultCache(tmp_path, max_entries=bound)
+        cache.prune()
+        survivors = cache.keys()
+        assert 0 < len(survivors) <= bound
+        for key in survivors:
+            payload = cache.get(key)
+            assert payload is not None and payload["key"] == key
+        assert list(cache._tmp_paths()) == []
+
+
 class TestFidelityAddressing:
     """Fidelity tiers must never share cache entries: a tier-0 estimate
     served for a tier-2 request would replace a simulation with a model
