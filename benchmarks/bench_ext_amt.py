@@ -1,0 +1,93 @@
+"""AMT runtime family on the Task Bench grid: overhead ordering + METG.
+
+The asynchronous many-tasking extension (ROADMAP item 4) claims a
+specific overhead structure for its three runtime models:
+
+* **fine grain** — per-task overhead orders message-driven < future-
+  based < message-passing: a Charm++ entry dispatch costs a message
+  receive (~140 ns), an HPX future costs create + continuation + get
+  (~590 ns), and an MPI "task" pays per-edge message injection plus a
+  collective at every step of the grid.
+* **coarse grain** — the ordering *crosses over*: once per-task
+  overhead amortizes, placement quality dominates, and HPX's greedy
+  earliest-free placement beats Charm++'s static round-robin chare
+  mapping on an irregular graph.
+
+Both claims are measured on the Task Bench METG curve (the same
+grain sweep as ``bench_taskbench.py``): a regular stencil grid for the
+fine-grain ordering and the METG table, and a seeded *random* grid —
+where round-robin placement leaves real imbalance — for the crossover.
+"""
+
+from conftest import run_once
+
+from repro.workloads.taskgraph import (
+    DEFAULT_GRAINS,
+    met_sweep,
+    minimum_effective_grain,
+)
+
+AMT_VERSIONS = ("charm", "hpx", "mpi")
+WIDTH = 36
+STEPS = 8
+P = 8
+MET_EFFICIENCY = 0.5
+
+
+def _table(pattern: str, curves) -> str:
+    header = "grain      " + "".join(f"{v:>12s}" for v in AMT_VERSIONS)
+    rows = []
+    for i, grain in enumerate(sorted(DEFAULT_GRAINS)):
+        cells = "".join(f"{curves[v][i].overhead:12.4f}" for v in AMT_VERSIONS)
+        rows.append(f"{grain * 1e6:7.1f} us {cells}")
+    return (
+        f"Task Bench {pattern} {WIDTH}x{STEPS} at p={P}: "
+        f"overhead ratio (T/ideal - 1) per task grain\n"
+        + header + "\n" + "\n".join(rows)
+    )
+
+
+def bench_ext_amt(benchmark, ctx, save):
+    stencil, rand = run_once(
+        benchmark,
+        lambda: tuple(
+            met_sweep(
+                AMT_VERSIONS, DEFAULT_GRAINS,
+                pattern=pattern, width=WIDTH, steps=STEPS, nthreads=P,
+                ctx=ctx, fidelity=2,
+            )
+            for pattern in ("stencil", "random")
+        ),
+    )
+    met = {v: minimum_effective_grain(stencil[v], MET_EFFICIENCY)
+           for v in AMT_VERSIONS}
+    met_line = "METG       " + "".join(
+        f"{met[v] * 1e6:10.1f}us" if met[v] is not None else f"{'-':>12s}"
+        for v in AMT_VERSIONS
+    )
+    save(
+        "ext_amt",
+        _table("stencil", stencil) + "\n"
+        + met_line + f"   (efficiency >= {MET_EFFICIENCY})\n\n"
+        + _table("random", rand),
+    )
+
+    # fine grain: message-driven < future-based < message-passing
+    # per-task overhead, on both grid shapes
+    for curves in (stencil, rand):
+        first = {v: curves[v][0].overhead for v in AMT_VERSIONS}
+        assert first["charm"] < first["hpx"] < first["mpi"], first
+        assert first["charm"] > 0.0, first
+    # growing the grain amortizes every runtime's overhead
+    for v in AMT_VERSIONS:
+        assert stencil[v][-1].overhead < stencil[v][0].overhead, v
+    # hence the METG curve on the regular grid is finite and ordered
+    # the same way as the fine-grain overhead
+    assert all(met[v] is not None for v in AMT_VERSIONS), met
+    assert met["charm"] <= met["hpx"] <= met["mpi"], met
+
+    # coarse grain on the irregular grid: the ordering crosses over —
+    # per-task overhead has amortized, placement dominates, and greedy
+    # earliest-free (hpx) beats static round-robin chares (charm)
+    last = {v: rand[v][-1].overhead for v in AMT_VERSIONS}
+    assert last["hpx"] < last["charm"], last

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Asynchronous many-tasking family: the three AMT runtimes (charm /
+# hpx / mpi) must pass the model-filtered validation battery, exhibit
+# their Table III fault disciplines, and reproduce the AMT overhead
+# ordering (message-driven < future-based at fine grain, crossover at
+# coarse grain) against the committed baseline.
+set -euo pipefail
+
+echo "--- model-filtered validation battery"
+timeout 600 python -m repro validate --programs 1 \
+  --model charm++ --model hpx --model mpi
+
+echo "--- registry sweep covers the AMT versions (fib: graphs)"
+python -m repro sweep fib --metrics-out amt-sweep.json -q
+python - <<'EOF'
+import json
+
+doc = json.load(open("amt-sweep.json"))
+counters = doc["metrics"]["counters"]
+# fib = 3 task-only versions + 3 AMT versions, PAPER_THREADS sweep
+assert counters["sweep_cells"] >= 6, counters
+print("fib sweep cells:", counters["sweep_cells"])
+EOF
+
+echo "--- Table III fault disciplines"
+timeout 120 python -m repro faults axpy -m charm --inject fail:task=2
+timeout 120 python -m repro faults fib -m hpx --inject fail:task=5
+timeout 120 python -m repro faults axpy -m mpi --inject fail:task=0
+
+echo "--- AMT overhead ordering benchmark (METG + crossover)"
+python -m pytest benchmarks/bench_ext_amt.py --benchmark-only -q
+
+echo "--- compare against the committed baseline (warn-only)"
+python -m repro perf compare --baseline bench_ext_amt \
+  --tolerance 3.0 --warn-only

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Error-handling gauntlet: an injected task failure must terminate (no
+# hang), be accounted as wasted work, and drive the documented exit
+# codes; the fault-injected validation battery must pass.
+set -euo pipefail
+
+timeout 120 python -m repro faults fib -m cilk \
+  --inject fail:task=5 --metrics-out faults.json
+
+python - <<'EOF'
+import json
+
+doc = json.load(open("faults.json"))
+summary = doc["summary"]
+assert summary["wasted_seconds"] > 0, summary
+assert summary["failed_regions"] >= 1, summary
+gauges = doc["metrics"]["gauges"]
+assert gauges["wasted_work_seconds"] > 0, gauges
+print("wasted work:", summary["wasted_seconds"], "s")
+EOF
+
+echo "--- strict mode surfaces the failure as exit 1"
+if python -m repro faults fib -m cilk --inject fail:task=5 --strict; then
+  echo "expected exit 1" >&2; exit 1
+fi
+
+echo "--- a retry policy recovers the strict run"
+python -m repro faults fib -m cilk \
+  --inject fail:task=5,attempts=1 --retries 1 --backoff 1e-6 --strict
+
+echo "--- unknown fault spec / model name exit 2"
+rc=0; python -m repro faults fib -m cilk --inject explode:x=1 || rc=$?
+test "$rc" -eq 2 || { echo "expected exit 2, got $rc" >&2; exit 1; }
+rc=0; python -m repro validate --programs 1 --inject explode:x=1 || rc=$?
+test "$rc" -eq 2 || { echo "expected exit 2, got $rc" >&2; exit 1; }
+rc=0; python -m repro validate --programs 1 --model corba || rc=$?
+test "$rc" -eq 2 || { echo "expected exit 2 for unknown model, got $rc" >&2; exit 1; }
+
+echo "--- fault-injected validation battery"
+timeout 600 python -m repro validate --inject fail:task=1

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Sweep-service contract: two identical *concurrent* queries must cost
+# exactly one set of simulations (single-flight dedupe, observable via
+# serve.dedup_hit / serve.cache_hit on /stats), a warm re-query must
+# perform zero simulations, and the server must append its lifetime
+# telemetry to the run ledger on shutdown.  The trap guarantees the
+# background server dies with this script, pass or fail; the final
+# check fails the suite if the store holds orphaned .tmp staging files.
+set -euo pipefail
+
+SERVE_URL=${SERVE_URL:-http://127.0.0.1:8765}
+STORE_DIR=.serve-store
+
+cleanup() {
+  if [ -f serve.pid ] && kill -0 "$(cat serve.pid)" 2> /dev/null; then
+    echo "--- cleanup: killing orphaned server $(cat serve.pid)" >&2
+    kill -TERM "$(cat serve.pid)" 2> /dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+python -m repro serve --port "${SERVE_URL##*:}" --cache-dir "$STORE_DIR" -j 2 \
+  2> serve.log &
+echo $! > serve.pid
+for _ in $(seq 1 50); do
+  curl -sf "$SERVE_URL/healthz" > /dev/null && break
+  sleep 0.2
+done
+curl -sf "$SERVE_URL/healthz"
+
+echo "--- two identical concurrent queries"
+python -m repro sweep axpy --server "$SERVE_URL" --metrics-out q1.json -q &
+Q1=$!
+python -m repro sweep axpy --server "$SERVE_URL" --metrics-out q2.json -q
+wait "$Q1"
+
+echo "--- single-flight accounting via /stats"
+curl -s "$SERVE_URL/stats" > stats.json
+python - <<'EOF'
+import json
+
+c = json.load(open("stats.json"))["counters"]
+cells = json.load(open("q1.json"))["metrics"]["counters"]["sweep_cells"]
+sims = c.get("serve.simulations", 0)
+joins = c.get("serve.dedup_hit", 0)
+hits = c.get("serve.cache_hit", 0)
+assert c["serve.request"] == 2, c
+# one set of simulations for two requests: every unique cell was
+# simulated exactly once; the second request's cells were joins
+# (in-flight) or store hits (already landed)
+assert sims == cells, f"expected {cells} simulations, got {sims}: {c}"
+assert joins + hits == cells, c
+print(f"cells={cells} simulations={sims} dedup_joins={joins} store_hits={hits}")
+EOF
+
+echo "--- warm re-query performs zero simulations"
+python -m repro sweep axpy --server "$SERVE_URL" --metrics-out warm.json -q
+python - <<'EOF'
+import json
+
+wc = json.load(open("warm.json"))["metrics"]["counters"]
+assert wc["simulations"] == 0, f"warm re-query simulated: {wc}"
+assert wc["cache_hits"] == wc["sweep_cells"] > 0, wc
+print("warm re-query served entirely from the store")
+EOF
+
+echo "--- stop the service (appends its ledger record)"
+kill -TERM "$(cat serve.pid)"
+for _ in $(seq 1 50); do
+  kill -0 "$(cat serve.pid)" 2> /dev/null || break
+  sleep 0.2
+done
+cat serve.log
+python - <<'EOF'
+from repro.perf import Ledger
+
+records = Ledger().records(kind="serve")
+assert records, "server wrote no ledger record on shutdown"
+rec = records[-1]
+assert rec["counters"].get("serve.request", 0) >= 3, rec["counters"]
+assert rec["extra"]["entries"] > 0, rec["extra"]
+print("serve ledger record:", rec["name"], rec["extra"])
+EOF
+
+echo "--- no orphaned staging files may survive shutdown"
+orphans=$(find "$STORE_DIR" -name '*.tmp' 2> /dev/null || true)
+if [ -n "$orphans" ]; then
+  echo "orphaned .tmp staging files left in $STORE_DIR:" >&2
+  echo "$orphans" >&2
+  exit 1
+fi
+echo "store is clean: no .tmp staging files"

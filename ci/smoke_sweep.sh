@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Cache effectiveness: the same sweep run twice must be served entirely
+# from the content-addressed cache the second time (zero simulations)
+# and be dramatically faster.
+set -euo pipefail
+
+python -m repro sweep axpy --jobs 2 --cache-dir .sweep-cache \
+  --metrics-out cold.json
+python -m repro sweep axpy --jobs 2 --cache-dir .sweep-cache \
+  --metrics-out warm.json
+
+python - <<'EOF'
+import json
+
+cold = json.load(open("cold.json"))
+warm = json.load(open("warm.json"))
+cc, wc = cold["metrics"]["counters"], warm["metrics"]["counters"]
+
+assert cc["simulations"] == cc["sweep_cells"] > 0, cc
+assert wc["simulations"] == 0, f"warm run simulated: {wc}"
+assert wc["cache_hits"] == wc["sweep_cells"], wc
+speedup = cold["wall_seconds"] / warm["wall_seconds"]
+assert speedup >= 5, (
+    f"cache speedup only {speedup:.1f}x "
+    f"({cold['wall_seconds']:.3f}s -> {warm['wall_seconds']:.3f}s)"
+)
+print(f"cache speedup: {speedup:.1f}x")
+EOF

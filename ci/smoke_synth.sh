@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Generator contract: seeded workload synthesis must be a pure function
+# of (seed, config) — two invocations of the same command must agree
+# byte-for-byte on stdout (specs, cache keys, simulated sweep results)
+# — and the Task Bench grain sweep must reproduce the runtime-overhead
+# ordering within its perf budget (warn-only: CI runner hardware
+# differs from the baseline machine).
+set -euo pipefail
+
+timeout 300 python -m repro synth --seed 42 --count 5 \
+  --run --validate --json synth-manifest.json | tee synth-run1.txt
+
+echo "--- same command again: stdout must be bit-identical"
+timeout 300 python -m repro synth --seed 42 --count 5 \
+  --run --validate > synth-run2.txt
+diff -u synth-run1.txt synth-run2.txt
+echo "deterministic: two runs agree byte-for-byte"
+
+echo "--- a different seed must change every spec digest"
+python -m repro synth --seed 43 --count 5 > synth-seed43.txt
+if grep -Ff <(grep spec-digest synth-run1.txt) synth-seed43.txt; then
+  echo "seed 43 reproduced a seed-42 digest" >&2; exit 1
+fi
+
+echo "--- Task Bench overhead-vs-grain benchmark (MET ordering)"
+python -m pytest benchmarks/bench_taskbench.py --benchmark-only -q
+
+echo "--- compare against the committed baseline (warn-only)"
+python -m repro perf compare --baseline bench_taskbench \
+  --tolerance 3.0 --warn-only

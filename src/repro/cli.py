@@ -282,6 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("--inject", default=None,
                      help="additionally audit every workload under this fault "
                           "spec (e.g. 'fail:task=1'); bad specs exit 2")
+    val.add_argument("--model", action="append", dest="models", default=None,
+                     metavar="NAME",
+                     help="restrict the per-version audits to this model "
+                          "family or version (repeatable; e.g. openmp, "
+                          "charm++, hpx, mpi, omp_task); unknown names exit 2")
 
     rep = sub.add_parser("report", help="regenerate every table/figure/claim")
     rep.add_argument("--out", default="report_out")
@@ -757,7 +762,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
     with recording("validate") as host:
         report = run_validation(
-            deep=args.deep, seed=args.seed, programs=args.programs, inject=args.inject
+            deep=args.deep, seed=args.seed, programs=args.programs,
+            inject=args.inject, models=args.models,
         )
     print(report.describe())
     _ledger_append(

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.kernels.common import build_kernel_program
-from repro.models import TASK_ONLY_VERSIONS, VERSIONS
+from repro.models import AMT_VERSIONS, TASK_ONLY_VERSIONS, VERSIONS
 from repro.rodinia.common import build_rodinia_program
 from repro.sim.machine import Machine
 from repro.sim.task import Program
@@ -91,7 +91,7 @@ _add(
         name="axpy",
         kind="kernel",
         figure="Fig. 1",
-        versions=VERSIONS,
+        versions=VERSIONS + AMT_VERSIONS,
         paper_params={"n": 100_000_000},
         default_params={"n": 8_000_000},
         validation_params={"n": 120_000},
@@ -103,7 +103,7 @@ _add(
         name="sum",
         kind="kernel",
         figure="Fig. 2",
-        versions=VERSIONS,
+        versions=VERSIONS + AMT_VERSIONS,
         paper_params={"n": 100_000_000},
         default_params={"n": 8_000_000},
         validation_params={"n": 120_000},
@@ -115,7 +115,7 @@ _add(
         name="matvec",
         kind="kernel",
         figure="Fig. 3",
-        versions=VERSIONS,
+        versions=VERSIONS + AMT_VERSIONS,
         paper_params={"n": 40_000},
         default_params={"n": 40_000},
         validation_params={"n": 1_500},
@@ -127,7 +127,7 @@ _add(
         name="matmul",
         kind="kernel",
         figure="Fig. 4",
-        versions=VERSIONS,
+        versions=VERSIONS + AMT_VERSIONS,
         paper_params={"n": 2048},
         default_params={"n": 2048},
         validation_params={"n": 96},
@@ -139,7 +139,7 @@ _add(
         name="fib",
         kind="kernel",
         figure="Fig. 5",
-        versions=TASK_ONLY_VERSIONS,
+        versions=TASK_ONLY_VERSIONS + AMT_VERSIONS,
         paper_params={"n": 40},
         default_params={"n": 22},
         validation_params={"n": 12},
@@ -151,7 +151,7 @@ _add(
         name="bfs",
         kind="rodinia",
         figure="Fig. 6",
-        versions=VERSIONS,
+        versions=VERSIONS + AMT_VERSIONS,
         paper_params={"n_nodes": 16_000_000},
         default_params={"n_nodes": 2_000_000},
         validation_params={"n_nodes": 30_000},
@@ -163,7 +163,7 @@ _add(
         name="hotspot",
         kind="rodinia",
         figure="Fig. 7",
-        versions=VERSIONS,
+        versions=VERSIONS + AMT_VERSIONS,
         paper_params={"grid": 8192, "steps": 6},
         default_params={"grid": 2048, "steps": 4},
         validation_params={"grid": 192, "steps": 2},
@@ -175,7 +175,7 @@ _add(
         name="lud",
         kind="rodinia",
         figure="Fig. 8",
-        versions=VERSIONS,
+        versions=VERSIONS + AMT_VERSIONS,
         paper_params={"n": 2048, "block": 32},
         default_params={"n": 1024, "block": 32},
         validation_params={"n": 128, "block": 32},
@@ -187,7 +187,7 @@ _add(
         name="lavamd",
         kind="rodinia",
         figure="Fig. 9a",
-        versions=VERSIONS,
+        versions=VERSIONS + AMT_VERSIONS,
         paper_params={"boxes1d": 10},
         default_params={"boxes1d": 8},
         validation_params={"boxes1d": 3},
@@ -199,7 +199,7 @@ _add(
         name="srad",
         kind="rodinia",
         figure="Fig. 9b",
-        versions=VERSIONS,
+        versions=VERSIONS + AMT_VERSIONS,
         paper_params={"grid": 2048, "iters": 100},
         default_params={"grid": 2048, "iters": 10},
         validation_params={"grid": 192, "iters": 2},
@@ -211,7 +211,7 @@ _add(
         name="taskbench",
         kind="taskgraph",
         figure="Fig. T1 (ext)",
-        versions=("omp_task", "cilk_spawn", "cxx_thread", "cxx_async"),
+        versions=("omp_task", "cilk_spawn", "cxx_thread", "cxx_async") + AMT_VERSIONS,
         paper_params={"pattern": "stencil", "width": 256, "steps": 32, "grain": 1e-5},
         default_params={"pattern": "stencil", "width": 32, "steps": 8, "grain": 5e-6},
         validation_params={"pattern": "stencil", "width": 8, "steps": 4, "grain": 2e-6},

@@ -151,6 +151,43 @@ def _run_cilk(demo, p, ctx, faults, tracer):
     )
 
 
+def _run_charm(demo, p, ctx, faults, tracer):
+    # message-driven run-to-completion: a failed entry method cannot be
+    # recalled; every chare executes, the failure surfaces at quiescence.
+    from repro.runtime.amt import run_charm_loop
+
+    space = _space(ctx)
+    return run_charm_loop(
+        space, p, ctx, nchares=32, tracer=tracer,
+        faults=faults.for_region(space.name, 0), error_mode=demo.mode,
+    )
+
+
+def _run_hpx(demo, p, ctx, faults, tracer):
+    # future poisoning: the failed future stores the exception and its
+    # transitive dependents never fire (skipped); siblings complete.
+    from repro.kernels import fib
+    from repro.runtime.amt import run_hpx_graph
+
+    graph = fib.graph(12)
+    return run_hpx_graph(
+        graph, p, ctx, tracer=tracer,
+        faults=faults.for_region("fib", 0), error_mode=demo.mode,
+    )
+
+
+def _run_mpi(demo, p, ctx, faults, tracer):
+    # MPI_Abort: the failing rank tears the job down — running chunks
+    # are cut off at the failure instant, unstarted chunks never issue.
+    from repro.runtime.amt import run_mpi_loop
+
+    space = _space(ctx)
+    return run_mpi_loop(
+        space, p, ctx, nchunks=32, tracer=tracer,
+        faults=faults.for_region(space.name, 0), error_mode=demo.mode,
+    )
+
+
 _RUNNERS = {
     "OpenMP": _run_openmp,
     "TBB": _run_tbb,
@@ -160,6 +197,9 @@ _RUNNERS = {
     "CUDA": _run_cuda,
     "OpenACC": _run_cuda,   # same offload pipeline, same "x" semantics
     "Cilk Plus": _run_cilk,
+    "Charm++": _run_charm,
+    "HPX": _run_hpx,
+    "MPI": _run_mpi,
 }
 
 
@@ -214,6 +254,24 @@ FAULT_DEMOS: dict[str, FaultDemo] = {
         spec="fail:task=3", runtime="workstealing",
         expect_failed=False, expect_cancelled=False,
         expect_skipped=False, expect_wasted=True,
+    ),
+    "Charm++": FaultDemo(
+        model="Charm++", construct="message loss at quiescence", mode="msg_loss",
+        spec="fail:task=2", runtime="amt",
+        expect_failed=True, expect_cancelled=False,
+        expect_skipped=False, expect_wasted=True,
+    ),
+    "HPX": FaultDemo(
+        model="HPX", construct="future poisoning", mode="future_poison",
+        spec="fail:task=5", runtime="amt",
+        expect_failed=True, expect_cancelled=False,
+        expect_skipped=True, expect_wasted=True,
+    ),
+    "MPI": FaultDemo(
+        model="MPI", construct="MPI_Abort on rank failure", mode="rank_fail",
+        spec="fail:task=0", runtime="amt",
+        expect_failed=True, expect_cancelled=True,
+        expect_skipped=True, expect_wasted=True,
     ),
 }
 

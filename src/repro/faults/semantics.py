@@ -20,6 +20,15 @@ mode            behaviour
 ``none``        Table III "No" (CUDA, OpenACC, Cilk data-parallel):
                 the failure goes undetected; the region completes and
                 reports all its busy time as wasted work.
+``msg_loss``    Charm++ message-driven execution: entry methods run to
+                completion, nothing can be recalled once sent; the
+                failure surfaces at quiescence/completion detection.
+``future_poison``  HPX dataflow: the failed future stores the
+                exception, its transitive dependents never fire
+                (skipped), unrelated futures complete.
+``rank_fail``   MPI: a rank failure aborts the job (``MPI_Abort``) —
+                running chunks cut off at the failure instant,
+                unstarted chunks never issue.
 ==============  ======================================================
 """
 
@@ -28,7 +37,10 @@ from __future__ import annotations
 __all__ = ["ERROR_MODES", "error_mode"]
 
 #: All recognised error-handling modes.
-ERROR_MODES = ("cancel", "poison", "rethrow", "async_cancel", "none")
+ERROR_MODES = (
+    "cancel", "poison", "rethrow", "async_cancel", "none",
+    "msg_loss", "future_poison", "rank_fail",
+)
 
 #: Model-version prefix -> mode.  Matches registry version names
 #: (``omp_for``, ``cilk_spawn``, ``cxx_async``, ...) and feature-table
@@ -45,6 +57,10 @@ _PREFIX_MODES = (
     ("cuda", "none"),
     ("acc", "none"),
     ("openacc", "none"),
+    ("charm", "msg_loss"),
+    ("hpx", "future_poison"),
+    ("parallex", "future_poison"),
+    ("mpi", "rank_fail"),
 )
 
 #: Fallback when the version string says nothing: the discipline most
@@ -58,6 +74,12 @@ _EXECUTOR_MODES = {
     "threadpool": "rethrow",
     "threadpool_graph": "rethrow",
     "offload": "none",
+    "charm_loop": "msg_loss",
+    "charm_graph": "msg_loss",
+    "hpx_loop": "future_poison",
+    "hpx_graph": "future_poison",
+    "mpi_loop": "rank_fail",
+    "mpi_graph": "rank_fail",
 }
 
 

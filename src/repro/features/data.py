@@ -1,7 +1,11 @@
-"""The eight threading models' feature entries (Tables I-III).
+"""The threading models' feature entries (Tables I-III).
 
-Cell text is transcribed from the paper; each entry also carries the
-section III.B runtime characterization.
+Cell text for the paper's eight models is transcribed from the paper;
+each entry also carries the section III.B runtime characterization.
+The asynchronous many-tasking extension rows (Charm++, HPX, MPI —
+ROADMAP item 4, after Kulkarni & Lumsdaine and Hasta & Mutiara) follow
+the same schema so the tables, fault demos and differential oracle
+cover them uniformly.
 """
 
 from __future__ import annotations
@@ -14,6 +18,66 @@ _Y = Support.yes
 _N = Support.no
 _NA = Support.na
 
+
+CHARMPP = FeatureSet(
+    name="Charm++",
+    data_parallelism=_Y("chare arrays over partitioned data"),
+    task_parallelism=_Y("entry-method messages drive execution"),
+    data_event_driven=_Y("message-driven: delivery schedules work"),
+    offloading=_N("host only (accelerator support out of scope)"),
+    memory_hierarchy=_N(),
+    data_binding=_Y("static chare placement + migration"),
+    data_movement=_Y("location-transparent message sends"),
+    barrier=_NA("N/A (quiescence detection)"),
+    reduction=_Y("spanning-tree contribute/reduction"),
+    join=_Y("quiescence / completion detection"),
+    mutual_exclusion=_NA("N/A (chares run one entry method at a time)"),
+    language="C++ library + translator (ci files)",
+    error_handling=_N("message loss surfaces at quiescence", demo="faults:Charm++"),
+    tool_support=_Y("Projections"),
+    scheduling="message-driven: per-PE queues, run-to-completion entries",
+    category="actor-style AMT runtime for overdecomposed objects",
+)
+
+HPX = FeatureSet(
+    name="HPX",
+    data_parallelism=_Y("parallel algorithms over futures"),
+    task_parallelism=_Y("hpx::async + future"),
+    data_event_driven=_Y("dataflow: future.then/when_all"),
+    offloading=_N("host only"),
+    memory_hierarchy=_N(),
+    data_binding=_N(),
+    data_movement=_NA("N/A (shared memory here)"),
+    barrier=_N(),
+    reduction=_Y("when_all + combining continuations"),
+    join=_Y("future.get"),
+    mutual_exclusion=_Y("hpx::mutex, atomics"),
+    language="C++ library (ParalleX execution model)",
+    error_handling=_Y("future poisoning", demo="faults:HPX"),
+    tool_support=_Y("APEX, performance counters"),
+    scheduling="lightweight user threads, continuation stealing",
+    category="future-based AMT runtime for fine-grained dataflow",
+)
+
+MPI = FeatureSet(
+    name="MPI",
+    data_parallelism=_Y("rank-partitioned SPMD loops"),
+    task_parallelism=_N("processes fixed at startup"),
+    data_event_driven=_Y("message completion (Wait/Test)"),
+    offloading=_N("host only"),
+    memory_hierarchy=_Y("explicit: all sharing is messages"),
+    data_binding=_Y("rank-to-core binding"),
+    data_movement=_Y("Send/Recv, collectives"),
+    barrier=_Y("MPI_Barrier"),
+    reduction=_Y("MPI_Allreduce"),
+    join=_Y("MPI_Wait / collectives"),
+    mutual_exclusion=_NA("N/A (no shared state)"),
+    language="C/C++/Fortran library",
+    error_handling=_Y("MPI_Abort on rank failure", demo="faults:MPI"),
+    tool_support=_Y("PMPI tools, mpiP"),
+    scheduling="static block partition; user balances load",
+    category="message-passing model for distributed and multicore memory",
+)
 
 CILK_PLUS = FeatureSet(
     name="Cilk Plus",
@@ -179,11 +243,15 @@ TBB = FeatureSet(
 )
 
 
-#: Paper ordering (alphabetical, as in Tables I-III).
+#: Paper ordering (alphabetical, as in Tables I-III); the AMT
+#: extension rows slot into the same alphabetical order.
 ALL_MODELS: tuple[FeatureSet, ...] = (
+    CHARMPP,
     CILK_PLUS,
     CUDA,
     CXX11,
+    HPX,
+    MPI,
     OPENACC,
     OPENCL,
     OPENMP,
@@ -210,6 +278,13 @@ _ALIASES = {
     "posix threads": "PThreads",
     "tbb": "TBB",
     "intel tbb": "TBB",
+    "charm": "Charm++",
+    "charm++": "Charm++",
+    "charmpp": "Charm++",
+    "hpx": "HPX",
+    "parallex": "HPX",
+    "mpi": "MPI",
+    "message passing": "MPI",
 }
 
 

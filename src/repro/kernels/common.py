@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.models import VERSIONS, cilk, cxx11, openmp
+from repro.models import AMT_VERSIONS, VERSIONS, charm, cilk, cxx11, hpx, mpi, openmp
 from repro.sim.machine import Machine
 from repro.sim.task import IterSpace, LoopRegion, Program
 
@@ -79,7 +79,15 @@ def dispatch_loop(
         return cxx11.async_for(
             space, nchunks=nchunks, reduction=reduction, persistent=persistent_pool
         )
-    raise ValueError(f"unknown version {version!r}; expected one of {VERSIONS}")
+    if version == "charm":
+        return charm.chare_for(space, nchares=nchunks, reduction=reduction)
+    if version == "hpx":
+        return hpx.async_for(space, nchunks=nchunks, reduction=reduction)
+    if version == "mpi":
+        return mpi.rank_for(space, nchunks=nchunks, reduction=reduction)
+    raise ValueError(
+        f"unknown version {version!r}; expected one of {VERSIONS + AMT_VERSIONS}"
+    )
 
 
 def kernel_module(name: str):

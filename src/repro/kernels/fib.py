@@ -24,7 +24,7 @@ from __future__ import annotations
 import sys
 from typing import Callable
 
-from repro.models import cilk, cxx11, openmp
+from repro.models import charm, cilk, cxx11, hpx, mpi, openmp
 from repro.sim.machine import Machine
 from repro.sim.task import Program, TaskGraph, TaskRegion
 
@@ -117,6 +117,12 @@ def program(version: str, *, machine: Machine, n: int = DEFAULT_SIM_N) -> Progra
         region = cxx11.async_graph(builder, name=f"cxx-fib({n})")
     elif version == "cxx_thread":
         region = cxx11.thread_graph(builder, name=f"cxx-fib({n})")
+    elif version == "charm":
+        region = charm.chare_graph(builder, name=f"charm-fib({n})")
+    elif version == "hpx":
+        region = hpx.future_graph(builder, name=f"hpx-fib({n})")
+    elif version == "mpi":
+        region = mpi.rank_graph(builder, name=f"mpi-fib({n})")
     else:
         raise ValueError(
             f"fib has no {version!r} version (data parallelism is not practical here)"

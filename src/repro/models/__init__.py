@@ -28,7 +28,7 @@ version name             builder
 ======================  =====================================
 """
 
-from repro.models import cilk, cuda, cxx11, openacc, opencl, openmp, pthreads, tbb
+from repro.models import charm, cilk, cuda, cxx11, hpx, mpi, openacc, opencl, openmp, pthreads, tbb
 
 VERSIONS = ("omp_for", "omp_task", "cilk_for", "cilk_spawn", "cxx_thread", "cxx_async")
 """Canonical order of the six versions, as used in figures."""
@@ -40,16 +40,77 @@ EXTENDED_VERSIONS = VERSIONS + ("tbb_for", "tbb_task", "pthread")
 """The paper benchmarks six versions; the extension models (TBB,
 PThreads) add comparable variants for workloads that support them."""
 
+AMT_VERSIONS = ("charm", "hpx", "mpi")
+"""The asynchronous many-tasking / message-driven family (ROADMAP item
+4): Charm++-style actors, HPX-style futures, MPI-style message passing.
+One version name covers both the loop and the task-graph form of each
+model."""
+
+#: Model-family name -> the registry version names it covers.  Keys are
+#: the user-facing spellings accepted by ``repro validate --model``;
+#: individual version names (``omp_task``, ``charm``, ...) resolve too.
+_MODEL_FAMILIES: dict[str, tuple[str, ...]] = {
+    "openmp": ("omp_for", "omp_task"),
+    "omp": ("omp_for", "omp_task"),
+    "cilk": ("cilk_for", "cilk_spawn"),
+    "cilk plus": ("cilk_for", "cilk_spawn"),
+    "cilkplus": ("cilk_for", "cilk_spawn"),
+    "cxx11": ("cxx_thread", "cxx_async"),
+    "c++11": ("cxx_thread", "cxx_async"),
+    "c++": ("cxx_thread", "cxx_async"),
+    "tbb": ("tbb_for", "tbb_task"),
+    "pthreads": ("pthread",),
+    "pthread": ("pthread",),
+    "charm": ("charm",),
+    "charm++": ("charm",),
+    "charmpp": ("charm",),
+    "hpx": ("hpx",),
+    "parallex": ("hpx",),
+    "mpi": ("mpi",),
+}
+
+
+def resolve_models(names) -> tuple[str, ...]:
+    """Map model-family or version names to registry version names.
+
+    Accepts family spellings (``openmp``, ``charm++``, ``mpi``) and
+    exact version names (``omp_task``, ``hpx``); raises ``ValueError``
+    for anything else — the CLI turns that into a usage error (exit 2).
+    Order is preserved, duplicates are dropped.
+    """
+    every = VERSIONS + EXTENDED_VERSIONS + AMT_VERSIONS
+    out: list[str] = []
+    for name in names:
+        key = name.strip().lower()
+        versions = _MODEL_FAMILIES.get(key)
+        if versions is None:
+            if key in every:
+                versions = (key,)
+            else:
+                known = sorted(set(_MODEL_FAMILIES) | set(every))
+                raise ValueError(
+                    f"unknown model {name!r}; known models/versions: "
+                    + ", ".join(known)
+                )
+        out.extend(v for v in versions if v not in out)
+    return tuple(out)
+
+
 __all__ = [
+    "charm",
     "cilk",
     "cuda",
     "cxx11",
+    "hpx",
+    "mpi",
     "openacc",
     "opencl",
     "openmp",
     "pthreads",
     "tbb",
+    "resolve_models",
     "VERSIONS",
     "TASK_ONLY_VERSIONS",
     "EXTENDED_VERSIONS",
+    "AMT_VERSIONS",
 ]

@@ -143,6 +143,17 @@ def execute_region(
             return run_offload_loop(
                 region.space, nthreads, ctx, tracer=tracer, **fault_kwargs, **params
             )
+        if executor in ("charm_loop", "hpx_loop", "mpi_loop"):
+            from repro.runtime import amt
+
+            run_loop = {
+                "charm_loop": amt.run_charm_loop,
+                "hpx_loop": amt.run_hpx_loop,
+                "mpi_loop": amt.run_mpi_loop,
+            }[executor]
+            return run_loop(
+                region.space, nthreads, ctx, tracer=tracer, **fault_kwargs, **params
+            )
         raise ValueError(f"unknown loop executor {executor!r}")
 
     if isinstance(region, TaskRegion):
@@ -158,6 +169,17 @@ def execute_region(
             )
         if executor == "threadpool_graph":
             return run_threadpool_graph(
+                graph, nthreads, ctx, tracer=tracer, **fault_kwargs, **params
+            )
+        if executor in ("charm_graph", "hpx_graph", "mpi_graph"):
+            from repro.runtime import amt
+
+            run_graph = {
+                "charm_graph": amt.run_charm_graph,
+                "hpx_graph": amt.run_hpx_graph,
+                "mpi_graph": amt.run_mpi_graph,
+            }[executor]
+            return run_graph(
                 graph, nthreads, ctx, tracer=tracer, **fault_kwargs, **params
             )
         raise ValueError(f"unknown task executor {executor!r}")

@@ -129,6 +129,48 @@ class CostModel:
     """Waking a pool of sleeping threads through a condition variable
     (manual C++ thread-pool phase start)."""
 
+    # -- Charm++-style message-driven actors ----------------------------
+    charm_msg_send: float = 120e-9
+    """Packing and enqueueing one entry-method message on the target
+    chare's queue (shared-memory transport; a few cache-line writes)."""
+
+    charm_msg_recv: float = 80e-9
+    """Scheduler-side dequeue and delivery of one pending message."""
+
+    charm_entry_dispatch: float = 60e-9
+    """Entry-method invocation: chare lookup + virtual dispatch."""
+
+    charm_chare_create: float = 0.6e-6
+    """Constructing and registering one chare array (mainchare side)."""
+
+    # -- HPX/ParalleX-style futures --------------------------------------
+    hpx_future_create: float = 350e-9
+    """``hpx::async``: future + lightweight-thread registration.  Much
+    cheaper than a kernel thread (``async_create``), dearer than a Cilk
+    spawn — the AMT papers' defining per-task cost."""
+
+    hpx_future_get: float = 150e-9
+    """Resuming a dataflow continuation once one awaited future is
+    ready (shared-state check + value plumbing)."""
+
+    hpx_continuation: float = 90e-9
+    """Attaching/stealing one continuation onto an HPX worker."""
+
+    # -- MPI-style message passing ----------------------------------------
+    mpi_msg_overhead: float = 250e-9
+    """CPU cost of posting one send/recv (descriptor + copy setup),
+    charged on both endpoints."""
+
+    mpi_latency: float = 0.8e-6
+    """Transport delay of one point-to-point message between ranks
+    (shared-memory eager path); delays the receiver, occupies no CPU."""
+
+    mpi_allreduce_base: float = 1.6e-6
+    """Fixed cost of a collective (allreduce/barrier) over the ranks."""
+
+    mpi_allreduce_per_step: float = 0.7e-6
+    """Per tree-level cost of a combining collective (x log2(ranks))."""
+
     # -- generic synchronization ------------------------------------------
     atomic_op: float = 22e-9
     """Uncontended atomic read-modify-write."""

@@ -400,6 +400,101 @@ def _steal_graph_estimate(
     return _aggregate_result(entry + time + exit_c, p, busy=busy, overhead=overhead, tasks=n)
 
 
+def _graph_durations(g, p: int, ctx) -> np.ndarray:
+    """Roofline-inflated duration of every task with ``p`` workers."""
+    machine = ctx.machine
+    n = len(g)
+    active = min(n, p) if p > 1 else 1
+    speed = machine.compute_speed(active)
+    works = np.fromiter((t.work for t in g.tasks), np.float64, count=n)
+    mbytes = np.fromiter((t.membytes for t in g.tasks), np.float64, count=n)
+    durs = works / speed
+    if mbytes.any():
+        locs = np.fromiter((t.locality for t in g.tasks), np.float64, count=n)
+        for loc in np.unique(locs):
+            bw = machine.bandwidth_per_thread(active, float(loc))
+            mask = locs == loc
+            durs[mask] = np.maximum(durs[mask], mbytes[mask] / bw)
+    return durs
+
+
+def _amt_graph_estimate(region: TaskRegion, p: int, ctx, kind: str) -> RegionResult:
+    """Analytic estimate for the AMT graph executors (charm/hpx/mpi).
+
+    The static-placement models are exactly analyzable: charm (round-
+    robin chares) and mpi (block-partitioned ranks) reduce to one
+    occupancy-coupled forward pass over the topologically-stored tasks
+    — ``start = max(pe_free, deps ready)`` — with no events, faults or
+    tracing, so their calibration bound collapses to the floor.  HPX's
+    greedy earliest-free placement is approximated by the greedy-
+    scheduling bound ``max((T1 + overhead)/p, T_inf)``; the gap left by
+    dependency-induced idling is what its calibrated bound absorbs.
+    """
+    costs = ctx.costs
+    g = region.graph_for(p)
+    n = len(g)
+    if n == 0:
+        return _aggregate_result(0.0, p, busy=0.0, overhead=0.0, tasks=0)
+    durs = _graph_durations(g, p, ctx)
+    busy = float(durs.sum())
+
+    if kind == "amt_hpx":
+        ndeps = np.fromiter((len(t.deps) for t in g.tasks), np.float64, count=n)
+        t1 = g.total_work()
+        inflation = busy / t1 if t1 > 0 else 1.0
+        tinf = g.critical_path() * inflation
+        overhead = float(
+            n * (costs.hpx_future_create + costs.hpx_continuation)
+            + ndeps.sum() * costs.hpx_future_get
+        )
+        time = max((busy + overhead) / p, tinf) + costs.hpx_future_get
+        return _aggregate_result(time, p, busy=busy, overhead=overhead, tasks=n)
+
+    # charm / mpi: static placement, occupancy-coupled forward pass
+    pe_free = [0.0] * p
+    finish = [0.0] * n
+    overhead = 0.0
+    if kind == "amt_charm":
+        root_ready = costs.charm_chare_create + costs.charm_msg_send
+        pre = costs.charm_msg_recv + costs.charm_entry_dispatch
+        for t in g.tasks:
+            tid = t.tid
+            pe = tid % p
+            ready = max((finish[d] for d in t.deps), default=root_ready)
+            post = len(g.successors[tid]) * costs.charm_msg_send
+            end = max(pe_free[pe], ready) + pre + float(durs[tid]) + post
+            pe_free[pe] = end
+            finish[tid] = end
+            overhead += pre + post
+        time = max(pe_free) + costs.charm_msg_send + costs.charm_msg_recv
+    else:  # amt_mpi
+        for t in g.tasks:
+            tid = t.tid
+            pe = tid * p // n
+            ready = 0.0
+            pre = 0.0
+            for d in t.deps:
+                arr = finish[d]
+                if d * p // n != pe:
+                    arr += costs.mpi_latency
+                    pre += costs.mpi_msg_overhead
+                ready = max(ready, arr)
+            post = sum(
+                costs.mpi_msg_overhead for s in g.successors[tid] if s * p // n != pe
+            )
+            end = max(pe_free[pe], ready) + pre + float(durs[tid]) + post
+            pe_free[pe] = end
+            finish[tid] = end
+            overhead += pre + post
+        coll = 0.0
+        if p > 1:
+            coll = costs.mpi_allreduce_base + costs.mpi_allreduce_per_step * math.ceil(
+                math.log2(p)
+            )
+        time = max(pe_free) + coll
+    return _aggregate_result(time, p, busy=busy, overhead=overhead, tasks=n)
+
+
 def estimate_region(region, nthreads: int, ctx) -> tuple[str, RegionResult]:
     """Estimate one region; returns ``(estimator_kind, raw_result)``.
 
@@ -440,8 +535,15 @@ def estimate_region(region, nthreads: int, ctx) -> tuple[str, RegionResult]:
         entry = _entry_cost(params.pop("entry", "none"), p, ctx)
         exit_c = _exit_cost(params.pop("exit", "none"), p, ctx)
         return "steal_graph", _steal_graph_estimate(region, p, ctx, params, entry, exit_c)
-    # SerialRegion, threadpool loop/graph, offload: the reference
-    # executors are analytic already — delegate (exact, bound 0).
+    if isinstance(region, TaskRegion) and region.executor in (
+        "charm_graph", "hpx_graph", "mpi_graph"
+    ):
+        kind = {"charm_graph": "amt_charm", "hpx_graph": "amt_hpx", "mpi_graph": "amt_mpi"}[
+            region.executor
+        ]
+        return kind, _amt_graph_estimate(region, p, ctx, kind)
+    # SerialRegion, threadpool loop/graph, offload, AMT loops: the
+    # reference executors are analytic already — delegate (exact, bound 0).
     return "exact", execute_region(region, p, ctx)
 
 
@@ -626,6 +728,9 @@ def calibrate(
 DEFAULT_CALIBRATION = Calibration(
     level=1,
     scales={
+        "amt_charm": 1.000000,
+        "amt_hpx": 1.289837,
+        "amt_mpi": 1.000000,
         "steal_cilkfor": 1.070199,
         "steal_flat": 1.064074,
         "steal_graph": 1.337380,
@@ -633,6 +738,9 @@ DEFAULT_CALIBRATION = Calibration(
         "ws_guided": 0.843019,
     },
     bounds={
+        "amt_charm": 0.020000,
+        "amt_hpx": 0.382296,
+        "amt_mpi": 0.020000,
         "steal_cilkfor": 0.434975,
         "steal_flat": 0.528671,
         "steal_graph": 0.441725,

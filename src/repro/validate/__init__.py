@@ -85,6 +85,7 @@ def run_validation(
     seed: int = 0,
     programs: Optional[int] = None,
     inject: Optional[str] = None,
+    models: Optional[list[str]] = None,
 ) -> ValidationReport:
     """Run the whole validation battery and return the merged report.
 
@@ -98,7 +99,19 @@ def run_validation(
     :meth:`repro.faults.FaultPlan.parse`) pushed through every registry
     workload on top of the standard battery; an unparsable spec raises
     :class:`ValueError` before any simulation runs.
+
+    ``models`` optionally restricts the per-version batteries (registry
+    audit and fault audit) to the named model families or registry
+    versions (``openmp``, ``charm++``, ``omp_task``, ...); an unknown
+    name raises :class:`ValueError` before any simulation runs — the
+    CLI maps that to a usage error (exit 2).  The model-independent
+    batteries (differential, properties, tiers, synth) always run.
     """
+    versions = None
+    if models is not None:
+        from repro.models import resolve_models
+
+        versions = resolve_models(models)  # fail fast: bad names are usage errors
     if inject is not None:
         from repro.faults.plan import FaultPlan
 
@@ -111,6 +124,7 @@ def run_validation(
     with perf_span("validate.registry_audit"):
         run_registry_audit(
             threads=(1, 4, 16, 36) if deep else (1, 4),
+            versions=versions,
             report=report,
         )
     with perf_span("validate.differential"):
@@ -134,5 +148,5 @@ def run_validation(
         )
     if inject is not None:
         with perf_span("validate.inject"):
-            run_fault_audit(inject, threads=(1, 4), report=report)
+            run_fault_audit(inject, threads=(1, 4), versions=versions, report=report)
     return report

@@ -124,6 +124,11 @@ def loop_runtime_matrix() -> dict[str, Callable[[IterSpace, int, ExecContext], R
             lambda s, p, ctx, tr: run_threadpool_loop(s, p, ctx, mode=mode, tracer=tr)
         )
 
+    from repro.runtime.amt import run_charm_loop, run_hpx_loop, run_mpi_loop
+
+    def amt(run_loop):
+        return _traced(lambda s, p, ctx, tr: run_loop(s, p, ctx, tracer=tr))
+
     return {
         "worksharing/static": ws("static"),
         "worksharing/dynamic": ws("dynamic"),
@@ -134,6 +139,9 @@ def loop_runtime_matrix() -> dict[str, Callable[[IterSpace, int, ExecContext], R
         "workstealing/flat/locked": steal("flat", "locked"),
         "threadpool/thread": pool("thread"),
         "threadpool/async": pool("async"),
+        "charm/loop": amt(run_charm_loop),
+        "hpx/loop": amt(run_hpx_loop),
+        "mpi/loop": amt(run_mpi_loop),
     }
 
 
@@ -147,6 +155,11 @@ def graph_runtime_matrix() -> dict[str, Callable[[TaskGraph, int, ExecContext], 
             )
         )
 
+    from repro.runtime.amt import run_charm_graph, run_hpx_graph, run_mpi_graph
+
+    def amt(run_graph):
+        return _traced(lambda g, p, ctx, tr: run_graph(g, p, ctx, tracer=tr))
+
     return {
         "stealing/the": steal("the"),
         "stealing/locked": steal("locked"),
@@ -154,6 +167,9 @@ def graph_runtime_matrix() -> dict[str, Callable[[TaskGraph, int, ExecContext], 
         "threadpool_graph/async": _traced(
             lambda g, p, ctx, tr: run_threadpool_graph(g, p, ctx, mode="async", tracer=tr)
         ),
+        "charm_graph": amt(run_charm_graph),
+        "hpx_graph": amt(run_hpx_graph),
+        "mpi_graph": amt(run_mpi_graph),
     }
 
 
@@ -322,13 +338,16 @@ def run_registry_audit(
     ctx: Optional[ExecContext] = None,
     *,
     threads: Sequence[int] = (1, 4),
+    versions: Optional[Sequence[str]] = None,
     report: Optional[ValidationReport] = None,
 ) -> ValidationReport:
     """Invariant-check every registered workload x version.
 
     Workloads run at their ``validation_params`` (tiny, structure-
     preserving sizes).  A :class:`ThreadExplosionError` is the modelled
-    C++11 hang, not an invariant violation, and is skipped.
+    C++11 hang, not an invariant violation, and is skipped.  An explicit
+    ``versions`` sequence restricts the audit to those version names
+    (``repro validate --model``).
     """
     from repro.core.registry import WORKLOADS
 
@@ -337,6 +356,8 @@ def run_registry_audit(
     for name, spec in sorted(WORKLOADS.items()):
         params = dict(spec.validation_params or spec.default_params)
         for version in spec.versions:
+            if versions is not None and version not in versions:
+                continue
             for p in threads:
                 try:
                     prog = spec.build(version, ctx.machine, **params)

@@ -104,6 +104,7 @@ def run_fault_audit(
     ctx: Optional[ExecContext] = None,
     *,
     threads: Sequence[int] = (1, 4),
+    versions: Optional[Sequence[str]] = None,
     report: Optional[ValidationReport] = None,
 ) -> ValidationReport:
     """Inject ``spec`` into every registry workload and check the results.
@@ -112,7 +113,8 @@ def run_fault_audit(
     kind — the CLI maps that to a usage error (exit code 2).  Programs
     run under a one-retry continue-on-failure policy so every attempt,
     failed or not, lands in the result for the invariant layer (which
-    includes the retry-idempotency check).
+    includes the retry-idempotency check).  An explicit ``versions``
+    sequence restricts the audit to those version names.
     """
     from repro.core.registry import WORKLOADS
     from repro.faults.plan import FaultPlan
@@ -126,6 +128,8 @@ def run_fault_audit(
     for name, wlspec in sorted(WORKLOADS.items()):
         params = dict(wlspec.validation_params or wlspec.default_params)
         for version in wlspec.versions:
+            if versions is not None and version not in versions:
+                continue
             for p in threads:
                 try:
                     prog = wlspec.build(version, ctx.machine, **params)

@@ -35,7 +35,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional, Sequence
 
-from repro.models import cilk, cxx11, openmp
+from repro.models import charm, cilk, cxx11, hpx, mpi, openmp
 from repro.sim.machine import Machine
 from repro.sim.task import Program, TaskGraph, TaskRegion
 
@@ -54,7 +54,9 @@ PATTERNS = ("stencil", "tree", "fft", "random")
 
 #: The task-capable runtimes: data-parallel loop versions have no
 #: natural rendering of an arbitrary DAG (the paper's fib argument).
-TASKBENCH_VERSIONS = ("omp_task", "cilk_spawn", "cxx_thread", "cxx_async")
+#: The AMT family (charm/hpx/mpi) renders DAGs natively — messages,
+#: dataflow futures and rank-partitioned sends respectively.
+TASKBENCH_VERSIONS = ("omp_task", "cilk_spawn", "cxx_thread", "cxx_async", "charm", "hpx", "mpi")
 
 
 def tree_levels(width: int, steps: int) -> list[int]:
@@ -185,6 +187,12 @@ def program(
         region = cxx11.async_graph(graph, name=f"cxx-async-tb-{label}")
     elif version == "cxx_thread":
         region = cxx11.thread_graph(graph, name=f"cxx-thread-tb-{label}")
+    elif version == "charm":
+        region = charm.chare_graph(graph, name=f"charm-tb-{label}")
+    elif version == "hpx":
+        region = hpx.future_graph(graph, name=f"hpx-tb-{label}")
+    elif version == "mpi":
+        region = mpi.rank_graph(graph, name=f"mpi-tb-{label}")
     else:
         raise ValueError(
             f"taskbench has no {version!r} version; task-capable versions: "

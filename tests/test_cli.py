@@ -211,6 +211,23 @@ class TestValidateCommand:
         assert main(["validate", "--programs", "1", "--inject", "fail:frob=1"]) == 2
         assert "unknown fault argument" in capsys.readouterr().err
 
+    def test_validate_model_filter_runs_clean(self, capsys):
+        assert main(["validate", "--programs", "1", "--model", "mpi"]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_validate_unknown_model_exits_2(self, capsys):
+        assert main(["validate", "--programs", "1", "--model", "corba"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown model 'corba'" in err and "charm" in err
+
+    def test_validate_unknown_model_exits_2_before_running(self, capsys):
+        # resolver failure is a usage error: no battery output, just the
+        # error line on stderr
+        assert main(["validate", "--model", "charm+++"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "unknown model" in captured.err
+
 
 class TestFaultsCommand:
     def test_faults_reports_degradation(self, capsys):

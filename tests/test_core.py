@@ -63,7 +63,8 @@ class TestExperiment:
         assert PAPER_THREADS == (1, 2, 4, 8, 16, 32, 36)
 
     def test_sweep_has_all_cells(self, axpy_sweep):
-        assert len(axpy_sweep.versions) == 6
+        # the paper's six versions plus the AMT family (charm/hpx/mpi)
+        assert len(axpy_sweep.versions) == 9
         for v in axpy_sweep.versions:
             assert len(axpy_sweep.times(v)) == 4
             for p in axpy_sweep.threads:

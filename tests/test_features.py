@@ -34,11 +34,13 @@ class TestSupport:
 
 
 class TestDatabase:
-    def test_eight_models_in_paper_order(self):
+    def test_models_in_paper_order(self):
+        # the paper's eight rows plus the AMT extension rows (Charm++,
+        # HPX, MPI), all in one alphabetical order
         names = [m.name for m in ALL_MODELS]
         assert names == [
-            "Cilk Plus", "CUDA", "C++11", "OpenACC",
-            "OpenCL", "OpenMP", "PThreads", "TBB",
+            "Charm++", "Cilk Plus", "CUDA", "C++11", "HPX", "MPI",
+            "OpenACC", "OpenCL", "OpenMP", "PThreads", "TBB",
         ]
 
     def test_openmp_supports_everything(self):
@@ -56,7 +58,7 @@ class TestDatabase:
 
     def test_only_openmp_and_openacc_bind_fortran(self):
         fortran = [m.name for m in ALL_MODELS if "Fortran" in m.language]
-        assert fortran == ["OpenACC", "OpenMP"]
+        assert fortran == ["MPI", "OpenACC", "OpenMP"]
 
     def test_baseline_models_lack_data_parallelism(self):
         # "PThreads and C++11 are baseline APIs"
@@ -66,7 +68,12 @@ class TestDatabase:
     def test_task_parallelism_universal(self):
         # "asynchronous tasking or threading can be viewed as the
         # foundational parallel mechanism supported by all the models"
+        # -- MPI is the one deliberate exception: its process set is
+        # fixed at startup (the SPMD model the AMT papers contrast with)
         for m in ALL_MODELS:
+            if m.name == "MPI":
+                assert not m.supports("task_parallelism")
+                continue
             assert m.supports("task_parallelism"), m.name
 
     def test_cilk_tbb_no_barrier_by_design(self):
@@ -114,7 +121,7 @@ class TestTables:
 
     def test_rows_cover_all_models(self):
         for rows in (table1_rows(), table2_rows(), table3_rows()):
-            assert len(rows) == 8
+            assert len(rows) == 11
             assert [r[0] for r in rows] == [m.name for m in ALL_MODELS]
 
     def test_table1_columns(self):
@@ -137,7 +144,7 @@ class TestQueries:
 
     def test_support_matrix_shape(self):
         m = support_matrix()
-        assert len(m) == 8
+        assert len(m) == 11
         assert all(set(v) == set(FEATURE_FIELDS) for v in m.values())
 
     def test_compare_renders(self):
@@ -158,7 +165,7 @@ class TestQueries:
         assert ranked[0][1] == len(FEATURE_FIELDS)
 
     def test_recommend_empty_requirements_returns_all(self):
-        assert len(recommend([])) == 8
+        assert len(recommend([])) == 11
 
     def test_recommend_unknown_feature(self):
         with pytest.raises(KeyError):

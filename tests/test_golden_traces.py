@@ -253,6 +253,132 @@ def test_goldens_cover_engine_events():
 
 
 # ---------------------------------------------------------------------------
+# AMT fault goldens: one cell per asynchronous many-tasking runtime,
+# under its canonical Table III error mode (charm -> message loss,
+# hpx -> future poisoning, mpi -> rank failure / abort), pinned across
+# the same serial / jobs=2 / cache-replay determinism contract
+# ---------------------------------------------------------------------------
+AMT_FAULT_CASES = [
+    ("axpy", "charm", {"n": 120_000}, "fail:task=2"),
+    ("fib", "hpx", {"n": 10}, "fail:task=5"),
+    ("axpy", "mpi", {"n": 120_000}, "fail:task=1"),
+]
+
+AMT_FAULT_IDS = [f"{w}-{v}" for w, v, _params, _spec in AMT_FAULT_CASES]
+
+AMT_P = 4
+
+
+def amt_fault_golden_path(workload: str, version: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"{workload}_{version}_p{AMT_P}_fault.json"
+
+
+def amt_fault_serial_payload(workload, version, params, spec_str) -> dict:
+    ctx = ExecContext()
+    spec = get_workload(workload)
+    program = spec.build(version, ctx.machine, **params)
+    res = run_program(
+        program, AMT_P, ctx, version,
+        trace=True, faults=spec_str, policy=FAULT_POLICY,
+    )
+    return {
+        "workload": workload,
+        "version": version,
+        "nthreads": AMT_P,
+        "params": dict(params),
+        "inject": spec_str,
+        "policy": dict(FAULT_POLICY),
+        "time": res.time,
+        "faults": [r.meta.get("fault") for r in res.regions],
+        "trace": tracer_to_dict(res.trace),
+    }
+
+
+def load_amt_fault_golden(workload: str, version: str) -> dict:
+    path = amt_fault_golden_path(workload, version)
+    if not path.exists():
+        pytest.fail(
+            f"missing golden {path}; generate with "
+            "`pytest tests/test_golden_traces.py --update-goldens`"
+        )
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("workload,version,params,spec_str",
+                         AMT_FAULT_CASES, ids=AMT_FAULT_IDS)
+def test_amt_fault_serial_run_matches_golden(
+    workload, version, params, spec_str, update_goldens
+):
+    payload = amt_fault_serial_payload(workload, version, params, spec_str)
+    path = amt_fault_golden_path(workload, version)
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"updated {path.name}")
+    assert payload == load_amt_fault_golden(workload, version)
+
+
+@pytest.mark.parametrize("workload,version,params,spec_str",
+                         AMT_FAULT_CASES, ids=AMT_FAULT_IDS)
+def test_amt_fault_parallel_sweep_matches_golden(
+    workload, version, params, spec_str, update_goldens
+):
+    if update_goldens:
+        pytest.skip("golden update run")
+    sweep = run_sweep(
+        workload, versions=[version], threads=(AMT_P,), params=params,
+        jobs=2, trace=True, faults=spec_str, policy=FAULT_POLICY,
+    )
+    golden = load_amt_fault_golden(workload, version)
+    res = sweep.results[(version, AMT_P)]
+    assert res.time == golden["time"]
+    assert [r.meta.get("fault") for r in res.regions] == golden["faults"]
+    assert tracer_to_dict(res.trace) == golden["trace"]
+
+
+@pytest.mark.parametrize("workload,version,params,spec_str",
+                         AMT_FAULT_CASES, ids=AMT_FAULT_IDS)
+def test_amt_fault_cache_replay_matches_golden(
+    workload, version, params, spec_str, tmp_path, update_goldens
+):
+    if update_goldens:
+        pytest.skip("golden update run")
+    kwargs = dict(
+        versions=[version], threads=(AMT_P,), params=params,
+        cache=tmp_path, trace=True, faults=spec_str, policy=FAULT_POLICY,
+    )
+    first = run_sweep(workload, **kwargs)
+    assert first.counter("simulations") == 1
+    replay = run_sweep(workload, **kwargs)
+    assert replay.counter("simulations") == 0
+    assert replay.counter("cache_hits") == 1
+    golden = load_amt_fault_golden(workload, version)
+    res = replay.results[(version, AMT_P)]
+    assert res.time == golden["time"]
+    assert [r.meta.get("fault") for r in res.regions] == golden["faults"]
+    assert tracer_to_dict(res.trace) == golden["trace"]
+
+
+def test_amt_fault_goldens_pin_table3_semantics():
+    """Each committed AMT golden must exhibit its model's Table III
+    discipline, not just any fault document."""
+    charm = [d for d in load_amt_fault_golden("axpy", "charm")["faults"] if d]
+    assert any(d["mode"] == "msg_loss" and d["failed"] for d in charm)
+    # run-to-completion: nothing is cancelled or skipped
+    assert all(not d["cancelled"] and not d.get("skipped") for d in charm)
+    hpx = [d for d in load_amt_fault_golden("fib", "hpx")["faults"] if d]
+    assert any(
+        d["mode"] == "future_poison" and d["failed"] and d.get("skipped")
+        for d in hpx
+    )
+    mpi = [d for d in load_amt_fault_golden("axpy", "mpi")["faults"] if d]
+    assert any(
+        d["mode"] == "rank_fail" and d["cancelled"] and d["failed"]
+        for d in mpi
+    )
+
+
+# ---------------------------------------------------------------------------
 # tiered fidelity: tier-1 fast paths must reproduce the same goldens
 # ---------------------------------------------------------------------------
 #: Cases chosen to drive the tier-1 fast paths hard: lud/cilk_for builds

@@ -60,7 +60,7 @@ class TestSweepLedgerAppend:
         assert rec is not None
         assert rec["wall_seconds"] > 0
         assert rec["extra"]["cache"] == "off"
-        assert rec["extra"]["simulations"] == 12
+        assert rec["extra"]["simulations"] == 18
         assert (ledger_dir / "BENCH_sweep_axpy.json").exists()
 
     def test_sweep_perf_off_appends_nothing(self, ledger_dir, monkeypatch, capsys):
